@@ -1,0 +1,68 @@
+package provmin
+
+import (
+	"provmin/internal/algebra"
+	"provmin/internal/db"
+	"provmin/internal/eval"
+)
+
+// This file exposes the SPJU relational-algebra front-end: provenance-aware
+// physical plans in the sense of Green et al. 2007, plus compilation to
+// UCQ≠ so the paper's minimization machinery applies to plans. Different
+// plans for the same query yield different provenance (§8 of the paper);
+// the core provenance — MinProv of the compiled plan — is plan-invariant.
+
+// Plan is a relational algebra expression (select/project/join/union/rename
+// over annotated relations).
+type Plan = algebra.Plan
+
+// Condition is a selection comparison (column vs column or constant).
+type Condition = algebra.Condition
+
+// CompareOp is a selection operator.
+type CompareOp = algebra.CompareOp
+
+// Selection operators.
+const (
+	OpEq  = algebra.OpEq
+	OpNeq = algebra.OpNeq
+)
+
+// Scan reads a stored relation, naming its columns.
+func Scan(rel string, cols ...string) (Plan, error) { return algebra.NewScan(rel, cols...) }
+
+// Select filters its input by a conjunction of conditions.
+func Select(in Plan, conds ...Condition) (Plan, error) { return algebra.NewSelect(in, conds...) }
+
+// Project keeps the named columns; collapsing annotations are added.
+func Project(in Plan, cols ...string) (Plan, error) { return algebra.NewProject(in, cols...) }
+
+// Join is the natural join on shared column names; annotations multiply.
+func Join(l, r Plan) (Plan, error) { return algebra.NewJoin(l, r) }
+
+// Rename renames one column.
+func Rename(in Plan, from, to string) (Plan, error) { return algebra.NewRename(in, from, to) }
+
+// UnionPlans combines two schema-compatible branches; annotations add.
+func UnionPlans(l, r Plan) (Plan, error) { return algebra.NewUnion(l, r) }
+
+// MustPlan panics on a plan-constructor error; for literal plans.
+func MustPlan(p Plan, err error) Plan {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// EvalPlan evaluates a physical plan with provenance under the N[X]
+// semantics of [19]. The provenance depends on the plan shape; use
+// CompilePlan + MinProv for the plan-invariant core.
+func EvalPlan(p Plan, d *Instance) (*Result, error) {
+	return planEval(p, d)
+}
+
+func planEval(p Plan, d *db.Instance) (*eval.Result, error) { return algebra.Eval(p, d) }
+
+// CompilePlan translates a plan into an equivalent UCQ≠ query with
+// identical provenance semantics.
+func CompilePlan(p Plan) (*Union, error) { return algebra.Compile(p) }

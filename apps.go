@@ -1,0 +1,73 @@
+package provmin
+
+import (
+	"provmin/internal/apps/deletion"
+	"provmin/internal/apps/prob"
+	"provmin/internal/apps/trust"
+	"provmin/internal/semiring"
+)
+
+// This file exposes the downstream provenance consumers (§1 of the paper
+// motivates core provenance as compact input to exactly these kinds of
+// tools): probabilistic query answering, trust assessment, and deletion
+// propagation / view maintenance.
+
+// DerivationProbability computes the exact probability that a tuple with
+// provenance p is derivable in a tuple-independent probabilistic database,
+// where prob gives each input tuple's (tag's) probability. Exponential in
+// the number of distinct witnesses (inclusion–exclusion); feeding it the
+// core provenance (CoreUpToCoefficients) gives the same answer faster.
+func DerivationProbability(p Polynomial, prob func(tag string) float64) (float64, error) {
+	return probExact(p, prob)
+}
+
+func probExact(p Polynomial, pr func(string) float64) (float64, error) {
+	return prob.Exact(p, pr)
+}
+
+// DerivationProbabilityMC estimates the derivation probability by Monte
+// Carlo sampling; use it when the witness count exceeds the exact cap.
+func DerivationProbabilityMC(p Polynomial, prob func(tag string) float64, samples int, seed int64) float64 {
+	return probMC(p, prob, samples, seed)
+}
+
+func probMC(p Polynomial, pr func(string) float64, samples int, seed int64) float64 {
+	return prob.MonteCarlo(p, pr, samples, seed)
+}
+
+// TrustCost returns the cheapest-derivation cost of a tuple (tropical
+// semiring evaluation); TropicalInf when underivable.
+func TrustCost(p Polynomial, cost func(tag string) float64) float64 {
+	return trust.Cost(p, cost)
+}
+
+// TropicalInf is the cost of an underivable tuple.
+const TropicalInf = semiring.TropicalInf
+
+// TrustConfidence returns the most-confident-derivation value of a tuple
+// (Viterbi semiring evaluation) under per-tuple confidences in [0,1].
+func TrustConfidence(p Polynomial, conf func(tag string) float64) float64 {
+	return trust.Confidence(p, conf)
+}
+
+// Survives reports whether a tuple with provenance p remains derivable after
+// deleting the input tuples whose tags are in deleted — deletion propagation
+// from provenance alone, with no query re-evaluation.
+func Survives(p Polynomial, deleted map[string]bool) bool {
+	return deletion.Survives(p, deleted)
+}
+
+// PropagateDeletion partitions an annotated result into tuples that survive
+// and tuples that are lost when the tagged input tuples are deleted.
+func PropagateDeletion(res *Result, deleted map[string]bool) (survivors, lost []Tuple) {
+	return deletion.Propagate(res, deleted)
+}
+
+// DeleteByTags returns a copy of the instance without the tuples carrying
+// the given tags (ground-truth helper for validating PropagateDeletion).
+func DeleteByTags(d *Instance, deleted map[string]bool) *Instance {
+	return deletion.DeleteByTags(d, deleted)
+}
+
+// NumDerivations counts the derivations of a tuple (bag multiplicity).
+func NumDerivations(p Polynomial) int { return semiring.NumDerivations(p) }

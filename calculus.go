@@ -1,0 +1,61 @@
+package provmin
+
+import (
+	"provmin/internal/eval"
+	"provmin/internal/semiring"
+)
+
+// This file exposes the provenance-calculus utilities: formal derivatives
+// (sensitivity analysis), restriction (deletion at the polynomial level),
+// derivation enumeration (explanations), and the access-control semiring.
+
+// Derivative returns ∂p/∂v: the sensitivity of the annotation to the
+// multiplicity of the input tuple tagged v.
+func Derivative(p Polynomial, v string) Polynomial { return semiring.Derivative(p, v) }
+
+// DependsOn reports whether p mentions the tag v at all.
+func DependsOn(p Polynomial, v string) bool { return semiring.DependsOn(p, v) }
+
+// Restrict sets tag v to zero, dropping every derivation that uses it.
+func Restrict(p Polynomial, v string) Polynomial { return semiring.Restrict(p, v) }
+
+// Derivation is one derivation (assignment) of an output tuple, with the
+// monomial it contributes to the tuple's provenance.
+type Derivation = eval.Derivation
+
+// Explain enumerates all derivations of t under u over d; the returned
+// monomials sum to P(t, Q, D).
+func Explain(u *Union, d *Instance, t Tuple) ([]Derivation, error) {
+	return eval.Derivations(u, d, t)
+}
+
+// AccessLevel is a clearance in the access-control semiring.
+type AccessLevel = semiring.AccessLevel
+
+// Clearance levels.
+const (
+	LevelNone         = semiring.LevelNone
+	LevelPublic       = semiring.LevelPublic
+	LevelConfidential = semiring.LevelConfidential
+	LevelSecret       = semiring.LevelSecret
+	LevelTopSecret    = semiring.LevelTopSecret
+)
+
+// AccessRequirement returns the minimum clearance needed to see some
+// derivation of a tuple with provenance p, given per-tuple clearances.
+func AccessRequirement(p Polynomial, level func(tag string) AccessLevel) AccessLevel {
+	return semiring.Eval[AccessLevel](p, semiring.Access{}, level)
+}
+
+// EvalTrustCostDirect evaluates the union directly in the tropical semiring
+// (per-assignment, without building polynomials), returning the cheapest
+// derivation cost per output tuple keyed by Tuple.Key().
+func EvalTrustCostDirect(u *Union, d *Instance, cost func(tag string) float64) (map[string]float64, []Tuple, error) {
+	return eval.EvalDirect[float64](u, d, semiring.Tropical{}, cost)
+}
+
+// EvalCountDirect evaluates the union directly in the counting semiring,
+// returning the number of derivations per output tuple.
+func EvalCountDirect(u *Union, d *Instance) (map[string]int, []Tuple, error) {
+	return eval.EvalDirect[int](u, d, semiring.Counting{}, func(string) int { return 1 })
+}

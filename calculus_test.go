@@ -1,0 +1,104 @@
+package provmin
+
+import "testing"
+
+func TestDerivativeFacade(t *testing.T) {
+	p := MustParsePolynomial("x*y^2 + 2*z")
+	if got := Derivative(p, "y"); !got.Equal(MustParsePolynomial("2*x*y")) {
+		t.Errorf("Derivative = %v", got)
+	}
+	if !DependsOn(p, "z") || DependsOn(p, "w") {
+		t.Error("DependsOn wrong")
+	}
+	if got := Restrict(p, "x"); !got.Equal(MustParsePolynomial("2*z")) {
+		t.Errorf("Restrict = %v", got)
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	u := MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	ds, err := Explain(u, table2(), Tuple{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("derivations = %d", len(ds))
+	}
+}
+
+func TestAccessRequirementFacade(t *testing.T) {
+	p := MustParsePolynomial("s1 + s2*s3")
+	level := func(v string) AccessLevel {
+		if v == "s1" {
+			return LevelTopSecret
+		}
+		return LevelConfidential
+	}
+	if got := AccessRequirement(p, level); got != LevelConfidential {
+		t.Errorf("AccessRequirement = %v, want confidential", got)
+	}
+	// Core provenance never raises the requirement: dominated derivations
+	// are at least as restrictive.
+	core := CoreUpToCoefficients(p)
+	if AccessRequirement(core, level) > AccessRequirement(p, level) {
+		t.Error("core must not raise the access requirement")
+	}
+}
+
+func TestEvalDirectFacades(t *testing.T) {
+	u := MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	costs := map[string]float64{"s1": 1, "s2": 2, "s3": 3, "s4": 4}
+	vals, tuples, err := EvalTrustCostDirect(u, table2(), func(tag string) float64 { return costs[tag] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("tuples = %v", tuples)
+	}
+	if vals[Tuple{"a"}.Key()] != 2 {
+		t.Errorf("cost(a) = %v, want 2", vals[Tuple{"a"}.Key()])
+	}
+	counts, _, err := EvalCountDirect(u, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[Tuple{"a"}.Key()] != 2 {
+		t.Errorf("count(a) = %v, want 2", counts[Tuple{"a"}.Key()])
+	}
+}
+
+func TestAlgebraFacade(t *testing.T) {
+	plan := MustPlan(Project(
+		MustPlan(Join(
+			MustPlan(Scan("R", "x", "y")),
+			MustPlan(Scan("R", "y", "x")),
+		)), "x"))
+	res, err := EvalPlan(plan, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := res.Lookup(Tuple{"a"})
+	if !p.Equal(MustParsePolynomial("s1^2 + s2*s3")) {
+		t.Errorf("plan prov = %v", p)
+	}
+	u, err := CompilePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qres, err := Eval(u, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SameAnnotated(qres) {
+		t.Error("compiled plan must agree with plan evaluation")
+	}
+	// Selection with a disequality compiles into the ≠ calculus.
+	sel := MustPlan(Select(MustPlan(Scan("R", "x", "y")), Condition{Op: OpNeq, Left: "x", Right: "y"}))
+	cu, err := CompilePlan(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ClassOfUnion(cu) != ClassCCQNeq {
+		t.Errorf("compiled class = %v", ClassOfUnion(cu))
+	}
+}

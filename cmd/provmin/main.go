@@ -1,0 +1,40 @@
+// Command provmin is the command-line interface to the provenance
+// minimization library.
+//
+// Subcommands:
+//
+//	eval     -q <rules> -db <file>            evaluate with provenance
+//	minprov  -q <rules> [-steps]              p-minimal equivalent (Alg. 1)
+//	minimize -q <rules>                       standard minimization baseline
+//	core     -poly <p> [-db <file> -tuple a,b -consts a,b]
+//	                                          direct core provenance (Thm 5.1)
+//	contain  -q1 <rules> -q2 <rules>          decide Q1 ⊆ Q2
+//	equiv    -q1 <rules> -q2 <rules>          decide Q1 ≡ Q2
+//	class    -q <rules>                       query class (Table 1 rows)
+//	explain  -q <rules> -db <file> -tuple a,b list a tuple's derivations
+//
+// Queries use the rule syntax "ans(x) :- R(x,y), x != y"; unions separate
+// rules with ';' or newlines. Databases use one fact per line:
+// "<relation> <tag> <value>...". The implementation lives in internal/cli.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"provmin/internal/cli"
+)
+
+func main() {
+	err := cli.Run(cli.DefaultEnv(), os.Args[1:])
+	if err == nil {
+		return
+	}
+	var exit *cli.ExitError
+	if errors.As(err, &exit) {
+		os.Exit(exit.Code)
+	}
+	fmt.Fprintln(os.Stderr, "provmin:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+package provmin
+
+import (
+	"provmin/internal/datalog"
+)
+
+// Program is a non-recursive Datalog program over annotated relations. The
+// paper's §8 leaves Datalog provenance minimization open; the non-recursive
+// fragment unfolds into UCQ≠ where the paper's machinery applies directly:
+// Unfold then MinProv computes a view's core provenance.
+type Program = datalog.Program
+
+// ParseProgram parses a Datalog program (one rule per line; relations never
+// used as heads are extensional). Recursive programs are rejected.
+func ParseProgram(text string) (*Program, error) { return datalog.Parse(text) }
+
+// MustParseProgram is ParseProgram that panics on error.
+func MustParseProgram(text string) *Program { return datalog.MustParse(text) }
+
+// UnfoldProgram rewrites an intensional predicate of the program into an
+// equivalent UCQ≠ over the extensional schema with composed provenance.
+func UnfoldProgram(p *Program, goal string) (*Union, error) { return p.Unfold(goal) }

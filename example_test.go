@@ -1,0 +1,128 @@
+package provmin_test
+
+import (
+	"fmt"
+
+	"provmin"
+)
+
+// The examples below run as tests (go test) and render in godoc; they walk
+// the main API paths on the paper's running example.
+
+func paperDB() *provmin.Instance {
+	d := provmin.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "b")
+	return d
+}
+
+func ExampleEval() {
+	q := provmin.MustParseQuery("ans(x) :- R(x,y), R(y,x)")
+	res, _ := provmin.Eval(provmin.SingleQuery(q), paperDB())
+	for _, t := range res.Tuples() {
+		fmt.Println(t.Tuple, t.Prov)
+	}
+	// Output:
+	// (a) s1^2 + s2*s3
+	// (b) s2*s3 + s4^2
+}
+
+func ExampleMinProv() {
+	q := provmin.MustParseQuery("ans(x) :- R(x,y), R(y,x)")
+	pmin := provmin.MinProv(provmin.SingleQuery(q))
+	fmt.Println(pmin)
+	// Output:
+	// ans(v1) :- R(v1,v1)
+	// ans(v1) :- R(v1,v2), R(v2,v1), v1 != v2
+}
+
+func ExampleCorePolynomial() {
+	p := provmin.MustParsePolynomial("s1^2 + s2*s3")
+	core, _ := provmin.CorePolynomial(p, paperDB(), provmin.Tuple{"a"}, nil)
+	fmt.Println(core)
+	// Output:
+	// s1 + s2*s3
+}
+
+func ExampleCoreUpToCoefficients() {
+	p := provmin.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	fmt.Println(provmin.CoreUpToCoefficients(p))
+	// Output:
+	// s1 + s2*s4*s5
+}
+
+func ExampleComparePolynomials() {
+	terse := provmin.MustParsePolynomial("s1*s2 + 2*s3")
+	verbose := provmin.MustParsePolynomial("s1*s2^2 + s2*s3 + s3*s4 + s5")
+	fmt.Println(provmin.ComparePolynomials(terse, verbose))
+	fmt.Println(provmin.ComparePolynomials(verbose, terse))
+	// Output:
+	// <
+	// >
+}
+
+func ExampleEquivalent() {
+	a := provmin.MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	b := provmin.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y; ans(x) :- R(x,x)")
+	fmt.Println(provmin.Equivalent(a, b))
+	// Output:
+	// true
+}
+
+func ExampleWhy() {
+	p := provmin.MustParsePolynomial("2*s1^2*s2 + s3")
+	fmt.Println(provmin.Why(p))
+	// Output:
+	// { {s3}, {s1,s2} }
+}
+
+func ExampleExplain() {
+	u := provmin.MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	ds, _ := provmin.Explain(u, paperDB(), provmin.Tuple{"a"})
+	for _, d := range ds {
+		fmt.Println(d.Monomial)
+	}
+	// Output:
+	// s1^2
+	// s2*s3
+}
+
+func ExampleSurvives() {
+	p := provmin.MustParsePolynomial("s1*s2 + s3")
+	fmt.Println(provmin.Survives(p, map[string]bool{"s1": true}))
+	fmt.Println(provmin.Survives(p, map[string]bool{"s1": true, "s3": true}))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleDerivative() {
+	p := provmin.MustParsePolynomial("x*y^2 + 2*z")
+	fmt.Println(provmin.Derivative(p, "y"))
+	// Output:
+	// 2*x*y
+}
+
+func ExampleClassOf() {
+	fmt.Println(provmin.ClassOf(provmin.MustParseQuery("ans(x) :- R(x,x)")))
+	fmt.Println(provmin.ClassOf(provmin.MustParseQuery("ans(x) :- R(x,y), x != y")))
+	fmt.Println(provmin.ClassOf(provmin.MustParseQuery("ans() :- R(x,y), R(y,z), x != z")))
+	// Output:
+	// CQ
+	// cCQ!=
+	// CQ!=
+}
+
+func ExampleCompilePlan() {
+	plan := provmin.MustPlan(provmin.Project(
+		provmin.MustPlan(provmin.Join(
+			provmin.MustPlan(provmin.Scan("R", "x", "y")),
+			provmin.MustPlan(provmin.Scan("R", "y", "x")),
+		)), "x"))
+	u, _ := provmin.CompilePlan(plan)
+	fmt.Println(u)
+	// Output:
+	// ans(v4) :- R(v4,v3), R(v3,v4)
+}

@@ -1,0 +1,87 @@
+// Probabilistic databases example: core provenance as a compact input to
+// probabilistic query answering — one of the tools the paper's introduction
+// motivates.
+//
+// Scenario: an uncertain road network extracted from noisy sensor data.
+// Each observed road segment is correct with some probability; we ask for
+// round trips (cycles) through the network and compute, for each answer,
+// the probability that it really exists. Computing that probability from
+// the full provenance pays inclusion–exclusion over every derivation;
+// computing it from the core provenance gives the *same* answer over only
+// the minimal witness sets.
+//
+//	go run ./examples/probabilistic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"provmin"
+)
+
+func main() {
+	// Uncertain road network: Road(from, to), each segment with a
+	// confidence in (0,1].
+	d := provmin.NewInstance()
+	rng := rand.New(rand.NewSource(7))
+	confidence := map[string]float64{}
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	id := 0
+	addRoad := func(a, b string) {
+		id++
+		tag := fmt.Sprintf("r%d", id)
+		confidence[tag] = 0.5 + 0.5*rng.Float64()
+		d.MustAdd("Road", tag, a, b)
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b && rng.Float64() < 0.65 {
+				addRoad(a, b)
+			}
+		}
+	}
+	fmt.Printf("road network: %d segments over %d towns\n\n", id, len(nodes))
+
+	// Round trips of length four: ans(x) if x lies on a 4-cycle. The
+	// repeated Road atoms produce many overlapping derivations per answer —
+	// exactly the situation where provenance blows up.
+	q := provmin.MustParseQuery("ans(x) :- Road(x,y), Road(y,z), Road(z,w), Road(w,x)")
+	res, err := provmin.Eval(provmin.SingleQuery(q), d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prob := func(tag string) float64 { return confidence[tag] }
+	fmt.Printf("%-6s %10s %10s %12s %12s %14s\n", "town", "full size", "core size", "P(full)", "P(core)", "speedup")
+	for _, t := range res.Tuples() {
+		core := provmin.CoreUpToCoefficients(t.Prov)
+
+		start := time.Now()
+		pFull, err := provmin.DerivationProbability(t.Prov, prob)
+		if err != nil {
+			// Too many witnesses for exact inclusion-exclusion: fall back
+			// to Monte Carlo on both representations.
+			pFull = provmin.DerivationProbabilityMC(t.Prov, prob, 100000, 1)
+		}
+		tFull := time.Since(start)
+
+		start = time.Now()
+		pCore, err := provmin.DerivationProbability(core, prob)
+		if err != nil {
+			pCore = provmin.DerivationProbabilityMC(core, prob, 100000, 1)
+		}
+		tCore := time.Since(start)
+
+		speedup := float64(tFull.Nanoseconds()+1) / float64(tCore.Nanoseconds()+1)
+		fmt.Printf("%-6s %10d %10d %12.6f %12.6f %13.1fx\n",
+			t.Tuple[0], t.Prov.Size(), core.Size(), pFull, pCore, speedup)
+		if diff := pFull - pCore; diff > 1e-9 || diff < -1e-9 {
+			log.Fatalf("probability changed under core provenance: %v vs %v", pFull, pCore)
+		}
+	}
+	fmt.Println("\ninvariant: identical probabilities from full and core provenance —")
+	fmt.Println("dominated derivations never change the derivation event.")
+}

@@ -1,0 +1,72 @@
+// Quickstart: a tour of the provmin public API on the paper's running
+// example (Figure 1 over Table 2).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provmin"
+)
+
+func main() {
+	// 1. An annotated database: relation R of the paper's Table 2. Every
+	// tuple carries an annotation variable (its provenance tag).
+	d := provmin.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "b")
+
+	// 2. A conjunctive query in rule syntax: "which x sit on a 2-cycle?".
+	q := provmin.MustParseQuery("ans(x) :- R(x,y), R(y,x)")
+	u := provmin.SingleQuery(q)
+	fmt.Println("query:", q)
+	fmt.Println("class:", provmin.ClassOf(q))
+
+	// 3. Evaluate with provenance: every output tuple gets an N[X]
+	// polynomial describing all its derivations.
+	res, err := provmin.Eval(u, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nannotated result:")
+	for _, t := range res.Tuples() {
+		fmt.Printf("  %s  %s   (%d derivations)\n", t.Tuple, t.Prov, provmin.NumDerivations(t.Prov))
+	}
+
+	// 4. Provenance minimization: compute an equivalent query realizing the
+	// core provenance — the part of the computation shared by EVERY
+	// equivalent query (Algorithm 1 / MinProv of the paper).
+	pmin := provmin.MinProv(u)
+	fmt.Println("\np-minimal equivalent query:")
+	fmt.Println(pmin)
+	fmt.Println("equivalent to the original:", provmin.Equivalent(pmin, u))
+
+	resMin, err := provmin.Eval(pmin, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncore provenance (same tuples, terser annotations):")
+	for _, t := range resMin.Tuples() {
+		full, _ := res.Lookup(t.Tuple)
+		fmt.Printf("  %s  %s   [was %s, order: core %s full]\n",
+			t.Tuple, t.Prov, full, provmin.ComparePolynomials(t.Prov, full))
+	}
+
+	// 5. Direct computation (Theorem 5.1): recover the core provenance from
+	// a polynomial alone — no query rewriting, no re-evaluation. Useful
+	// when the optimizer already ran whatever plan it liked.
+	pa, _ := res.Lookup(provmin.Tuple{"a"})
+	core, err := provmin.CorePolynomial(pa, d, provmin.Tuple{"a"}, q.Consts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndirect core of P((a)) = %s  ->  %s\n", pa, core)
+
+	// 6. Coarser provenance models are semiring specializations.
+	fmt.Println("\nWhy-provenance of (a):", provmin.Why(pa))
+	fmt.Println("Trio lineage of (a):  ", provmin.Trio(pa))
+}

@@ -1,0 +1,75 @@
+// Trust assessment example: evaluating provenance polynomials in coarser
+// semirings (tropical cost, Viterbi confidence) — the second family of
+// provenance consumers motivated by the paper.
+//
+// Scenario: a data-integration setting where facts about collaborations are
+// curated from sources of varying reliability and access cost. A derived
+// answer's trust is the best value over its derivations; the core
+// provenance identifies the derivations inherent to the query, giving the
+// trust of the core computation.
+//
+//	go run ./examples/trust
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provmin"
+)
+
+func main() {
+	// Collab(a, b): curated collaboration facts, each from one source.
+	d := provmin.NewInstance()
+	type fact struct {
+		tag, a, b string
+		cost      float64 // verification cost of the source
+		conf      float64 // source confidence
+	}
+	facts := []fact{
+		{"curated1", "ada", "bob", 1, 0.99},
+		{"curated2", "bob", "ada", 1, 0.99},
+		{"scraped1", "ada", "cyd", 5, 0.70},
+		{"scraped2", "cyd", "ada", 5, 0.70},
+		{"scraped3", "bob", "cyd", 4, 0.75},
+		{"wiki1", "cyd", "bob", 2, 0.90},
+		{"selfrep1", "dee", "dee", 9, 0.40},
+	}
+	cost := map[string]float64{}
+	conf := map[string]float64{}
+	for _, f := range facts {
+		d.MustAdd("Collab", f.tag, f.a, f.b)
+		cost[f.tag] = f.cost
+		conf[f.tag] = f.conf
+	}
+
+	// Mutual collaborators: the paper's Qconj. Note Qconj also derives
+	// (dee) from the single self-collaboration used twice — with squared
+	// annotation — while the p-minimal form uses it once.
+	q := provmin.MustParseQuery("ans(x) :- Collab(x,y), Collab(y,x)")
+	res, err := provmin.Eval(provmin.SingleQuery(q), d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	costOf := func(tag string) float64 { return cost[tag] }
+	confOf := func(tag string) float64 { return conf[tag] }
+
+	fmt.Printf("%-6s %-34s %12s %12s %12s %12s\n", "who", "provenance", "cost(full)", "cost(core)", "conf(full)", "conf(core)")
+	for _, t := range res.Tuples() {
+		core := provmin.CoreUpToCoefficients(t.Prov)
+		cFull := provmin.TrustCost(t.Prov, costOf)
+		cCore := provmin.TrustCost(core, costOf)
+		fFull := provmin.TrustConfidence(t.Prov, confOf)
+		fCore := provmin.TrustConfidence(core, confOf)
+		fmt.Printf("%-6s %-34s %12.2f %12.2f %12.4f %12.4f\n",
+			t.Tuple[0], t.Prov, cFull, cCore, fFull, fCore)
+		if cCore > cFull || fCore < fFull {
+			log.Fatal("core trust must never be worse: the p-minimal query realizes it")
+		}
+	}
+	fmt.Println("\nnote the self-collaboration row: the raw plan uses the source twice")
+	fmt.Println("(cost doubled, confidence squared); the core uses it once — the inherent")
+	fmt.Println("computation is cheaper and more trustworthy, and an equivalent query")
+	fmt.Println("(the p-minimal one) actually achieves it.")
+}

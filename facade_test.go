@@ -1,0 +1,149 @@
+package provmin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestStoreFacadeRoundTrip(t *testing.T) {
+	q := MustParseQuery("ans(x) :- R(x,y), R(y,x)")
+	u := SingleQuery(q)
+	d := table2()
+	res, err := Eval(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveResult(&buf, d, res, q.Consts()); err != nil {
+		t.Fatal(err)
+	}
+	d2, res2, consts, err := LoadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := CoreResult(res2, d2, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := core.Lookup(Tuple{"a"})
+	if !pa.Equal(MustParsePolynomial("s1 + s2*s3")) {
+		t.Errorf("offline core = %v", pa)
+	}
+	upTo := CoreResultUpToCoefficients(res2)
+	if upTo.TotalProvenanceSize() > res2.TotalProvenanceSize() {
+		t.Error("core must not be larger")
+	}
+}
+
+func TestProbabilityFacades(t *testing.T) {
+	p := MustParsePolynomial("s1 + s2")
+	exact, err := DerivationProbability(p, func(string) float64 { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-0.75) > 1e-12 {
+		t.Errorf("DerivationProbability = %v", exact)
+	}
+	mc := DerivationProbabilityMC(p, func(string) float64 { return 0.5 }, 100000, 7)
+	if math.Abs(mc-0.75) > 0.02 {
+		t.Errorf("DerivationProbabilityMC = %v", mc)
+	}
+}
+
+func TestTrustFacades(t *testing.T) {
+	p := MustParsePolynomial("s1*s2 + s3")
+	costs := map[string]float64{"s1": 1, "s2": 2, "s3": 10}
+	if got := TrustCost(p, func(v string) float64 { return costs[v] }); got != 3 {
+		t.Errorf("TrustCost = %v", got)
+	}
+	if got := TrustCost(MustParsePolynomial("0"), func(string) float64 { return 1 }); got != TropicalInf {
+		t.Errorf("TrustCost(0) = %v", got)
+	}
+	conf := map[string]float64{"s1": 0.9, "s2": 0.9, "s3": 0.5}
+	if got := TrustConfidence(p, func(v string) float64 { return conf[v] }); math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("TrustConfidence = %v", got)
+	}
+}
+
+func TestDeletionFacades(t *testing.T) {
+	u := MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	d := table2()
+	res, err := Eval(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors, lost := PropagateDeletion(res, map[string]bool{"s2": true, "s1": true})
+	if len(survivors) != 1 || len(lost) != 1 {
+		t.Errorf("survivors=%v lost=%v", survivors, lost)
+	}
+	reduced := DeleteByTags(d, map[string]bool{"s2": true})
+	if reduced.Lookup("R").Len() != 3 {
+		t.Errorf("DeleteByTags = %d tuples", reduced.Lookup("R").Len())
+	}
+	if NumDerivations(MustParsePolynomial("2*s1 + s2")) != 3 {
+		t.Error("NumDerivations facade broken")
+	}
+}
+
+func TestDatalogFacade(t *testing.T) {
+	p := MustParseProgram("V(x) :- E(x,x)\nGoal(x) :- V(x)")
+	u, err := UnfoldProgram(p, "Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Adjuncts) != 1 || u.Adjuncts[0].Atoms[0].Rel != "E" {
+		t.Errorf("UnfoldProgram = %v", u)
+	}
+	if _, err := ParseProgram("T(x) :- T(x)"); err == nil {
+		t.Error("recursion must be rejected through the facade")
+	}
+}
+
+func TestAlgebraFacadeRemaining(t *testing.T) {
+	s := MustPlan(Scan("R", "x", "y"))
+	r, err := Rename(s, "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := r.Columns(); cols[1] != "z" {
+		t.Errorf("Rename columns = %v", cols)
+	}
+	u, err := UnionPlans(s, MustPlan(Scan("R", "x", "y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvalPlan(u, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := res.Lookup(Tuple{"a", "b"})
+	if !p.Equal(MustParsePolynomial("2*s2")) {
+		t.Errorf("union plan prov = %v", p)
+	}
+	if got := ComparePolynomials(p, p); got != Equal {
+		t.Errorf("self compare = %v", got)
+	}
+}
+
+func TestProvenanceFacade(t *testing.T) {
+	u := MustParseUnion("ans(x) :- R(x,x)")
+	p, err := Provenance(u, table2(), Tuple{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(MustParsePolynomial("s1")) {
+		t.Errorf("Provenance = %v", p)
+	}
+}
+
+func TestEvalCountDirectFacadeBooleanQuery(t *testing.T) {
+	u := MustParseUnion("ans() :- R(x,y), R(y,x)")
+	counts, tuples, err := EvalCountDirect(u, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 || counts[Tuple{}.Key()] != 4 {
+		t.Errorf("counts = %v", counts)
+	}
+}

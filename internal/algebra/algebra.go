@@ -1,0 +1,287 @@
+// Package algebra implements a provenance-aware select-project-join-union
+// (SPJU) relational algebra in the style of Green, Karvounarakis and Tannen
+// ("Provenance semirings", PODS 2007), whose N[X] semantics the paper adopts
+// (its Def. 2.12 cites the SPJU definition of [19]).
+//
+// The package serves two purposes:
+//
+//  1. It evaluates physical plans with provenance: selection keeps
+//     annotations, projection adds them, join multiplies them, union adds
+//     across branches. Different plans for the same query can yield
+//     different provenance polynomials — the phenomenon the paper's §8
+//     highlights ("different physical query plans for the same query may
+//     result in different provenance").
+//  2. It compiles plans to UCQ≠ queries, so the paper's machinery applies:
+//     MinProv over the compiled query computes the core provenance, which
+//     is invariant across all equivalent plans. The tests demonstrate this
+//     plan-invariance end to end.
+//
+// Plans are schema-typed: every node exposes named output columns, and
+// constructors validate column references eagerly.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a relational algebra expression over annotated relations.
+type Plan interface {
+	// Columns returns the output schema (column names, in order).
+	Columns() []string
+	// String renders the plan as a one-line expression.
+	String() string
+	// validate checks internal consistency; constructors call it.
+	validate() error
+}
+
+// Scan reads a stored relation, naming its columns.
+type Scan struct {
+	Rel  string
+	Cols []string
+}
+
+// NewScan builds a scan node with distinct column names.
+func NewScan(rel string, cols ...string) (*Scan, error) {
+	s := &Scan{Rel: rel, Cols: cols}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Scan) Columns() []string { return s.Cols }
+func (s *Scan) String() string {
+	return fmt.Sprintf("%s(%s)", s.Rel, strings.Join(s.Cols, ","))
+}
+func (s *Scan) validate() error {
+	seen := map[string]bool{}
+	for _, c := range s.Cols {
+		if seen[c] {
+			return fmt.Errorf("scan of %s: duplicate column %q", s.Rel, c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// CompareOp is a selection comparison operator.
+type CompareOp int
+
+const (
+	// OpEq is equality.
+	OpEq CompareOp = iota
+	// OpNeq is disequality, compiled to the paper's ≠ atoms.
+	OpNeq
+)
+
+func (o CompareOp) String() string {
+	if o == OpEq {
+		return "="
+	}
+	return "!="
+}
+
+// Condition is one comparison of a column against a column or a constant.
+type Condition struct {
+	Op    CompareOp
+	Left  string // column name
+	Right string // column name or constant value (see RightIsConst)
+	// RightIsConst marks Right as a constant literal.
+	RightIsConst bool
+}
+
+func (c Condition) String() string {
+	r := c.Right
+	if c.RightIsConst {
+		r = "'" + r + "'"
+	}
+	return fmt.Sprintf("%s%s%s", c.Left, c.Op, r)
+}
+
+// Select filters its input by a conjunction of conditions; annotations pass
+// through unchanged.
+type Select struct {
+	In    Plan
+	Conds []Condition
+}
+
+// NewSelect builds a selection node.
+func NewSelect(in Plan, conds ...Condition) (*Select, error) {
+	s := &Select{In: in, Conds: conds}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Select) Columns() []string { return s.In.Columns() }
+func (s *Select) String() string {
+	parts := make([]string, len(s.Conds))
+	for i, c := range s.Conds {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("σ[%s](%s)", strings.Join(parts, " ∧ "), s.In)
+}
+func (s *Select) validate() error {
+	cols := map[string]bool{}
+	for _, c := range s.In.Columns() {
+		cols[c] = true
+	}
+	for _, c := range s.Conds {
+		if !cols[c.Left] {
+			return fmt.Errorf("select: unknown column %q", c.Left)
+		}
+		if !c.RightIsConst && !cols[c.Right] {
+			return fmt.Errorf("select: unknown column %q", c.Right)
+		}
+	}
+	return nil
+}
+
+// Project keeps the named columns (in the given order); annotations of input
+// tuples collapsing onto the same output tuple are added.
+type Project struct {
+	In   Plan
+	Cols []string
+}
+
+// NewProject builds a projection node.
+func NewProject(in Plan, cols ...string) (*Project, error) {
+	p := &Project{In: in, Cols: cols}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Project) Columns() []string { return p.Cols }
+func (p *Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Cols, ","), p.In)
+}
+func (p *Project) validate() error {
+	in := map[string]bool{}
+	for _, c := range p.In.Columns() {
+		in[c] = true
+	}
+	seen := map[string]bool{}
+	for _, c := range p.Cols {
+		if !in[c] {
+			return fmt.Errorf("project: unknown column %q", c)
+		}
+		if seen[c] {
+			return fmt.Errorf("project: duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Join is the natural join: matching values on shared column names;
+// annotations multiply. Disjoint schemas give the Cartesian product.
+type Join struct {
+	L, R Plan
+}
+
+// NewJoin builds a natural-join node.
+func NewJoin(l, r Plan) (*Join, error) {
+	j := &Join{L: l, R: r}
+	if err := j.validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Join) Columns() []string {
+	cols := append([]string{}, j.L.Columns()...)
+	have := map[string]bool{}
+	for _, c := range cols {
+		have[c] = true
+	}
+	for _, c := range j.R.Columns() {
+		if !have[c] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+func (j *Join) String() string  { return fmt.Sprintf("(%s ⋈ %s)", j.L, j.R) }
+func (j *Join) validate() error { return nil }
+
+// Rename renames one column.
+type Rename struct {
+	In       Plan
+	From, To string
+}
+
+// NewRename builds a rename node.
+func NewRename(in Plan, from, to string) (*Rename, error) {
+	r := &Rename{In: in, From: from, To: to}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Rename) Columns() []string {
+	cols := append([]string{}, r.In.Columns()...)
+	for i, c := range cols {
+		if c == r.From {
+			cols[i] = r.To
+		}
+	}
+	return cols
+}
+func (r *Rename) String() string { return fmt.Sprintf("ρ[%s→%s](%s)", r.From, r.To, r.In) }
+func (r *Rename) validate() error {
+	found := false
+	for _, c := range r.In.Columns() {
+		if c == r.From {
+			found = true
+		}
+		if c == r.To && r.To != r.From {
+			return fmt.Errorf("rename: target column %q already exists", r.To)
+		}
+	}
+	if !found {
+		return fmt.Errorf("rename: unknown column %q", r.From)
+	}
+	return nil
+}
+
+// Union combines two schema-compatible branches; annotations add.
+type Union struct {
+	L, R Plan
+}
+
+// NewUnion builds a union node; both branches must expose identical schemas.
+func NewUnion(l, r Plan) (*Union, error) {
+	u := &Union{L: l, R: r}
+	if err := u.validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (u *Union) Columns() []string { return u.L.Columns() }
+func (u *Union) String() string    { return fmt.Sprintf("(%s ∪ %s)", u.L, u.R) }
+func (u *Union) validate() error {
+	lc, rc := u.L.Columns(), u.R.Columns()
+	if len(lc) != len(rc) {
+		return fmt.Errorf("union: schemas %v and %v differ", lc, rc)
+	}
+	for i := range lc {
+		if lc[i] != rc[i] {
+			return fmt.Errorf("union: schemas %v and %v differ", lc, rc)
+		}
+	}
+	return nil
+}
+
+// Must panics on a constructor error; for literal plans in tests/examples.
+func Must[P Plan](p P, err error) P {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

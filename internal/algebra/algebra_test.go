@@ -1,0 +1,207 @@
+package algebra
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/semiring"
+	"provmin/internal/workload"
+)
+
+func scan(t *testing.T, rel string, cols ...string) *Scan {
+	t.Helper()
+	s, err := NewScan(rel, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScanEval(t *testing.T) {
+	d := workload.Table2()
+	res, err := Eval(scan(t, "R", "a", "b"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("result:\n%s", res)
+	}
+	p, _ := res.Lookup(db.Tuple{"a", "b"})
+	if !p.Equal(semiring.Var("s2")) {
+		t.Errorf("prov = %v", p)
+	}
+}
+
+func TestScanMissingRelationEmpty(t *testing.T) {
+	res, err := Eval(scan(t, "Nope", "a"), db.NewInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Error("missing relation should evaluate to empty")
+	}
+}
+
+func TestScanArityMismatch(t *testing.T) {
+	if _, err := Eval(scan(t, "R", "only"), workload.Table2()); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestSelectEvalEqConst(t *testing.T) {
+	d := workload.Table2()
+	sel, err := NewSelect(scan(t, "R", "x", "y"), Condition{Op: OpEq, Left: "x", Right: "a", RightIsConst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(sel, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || !res.Contains(db.Tuple{"a", "a"}) || !res.Contains(db.Tuple{"a", "b"}) {
+		t.Fatalf("result:\n%s", res)
+	}
+}
+
+func TestSelectEvalNeqCols(t *testing.T) {
+	d := workload.Table2()
+	sel, err := NewSelect(scan(t, "R", "x", "y"), Condition{Op: OpNeq, Left: "x", Right: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(sel, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Contains(db.Tuple{"a", "a"}) {
+		t.Fatalf("result:\n%s", res)
+	}
+}
+
+func TestProjectAddsAnnotations(t *testing.T) {
+	d := workload.Table2()
+	proj, err := NewProject(scan(t, "R", "x", "y"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(proj, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := res.Lookup(db.Tuple{"a"})
+	if !pa.Equal(semiring.MustParsePolynomial("s1 + s2")) {
+		t.Errorf("prov(a) = %v, want s1 + s2", pa)
+	}
+}
+
+func TestJoinMultipliesAnnotations(t *testing.T) {
+	// Qconj as a plan: π_x(R(x,y) ⋈ ρ(R(y,x))).
+	d := workload.Table2()
+	left := scan(t, "R", "x", "y")
+	right := scan(t, "R", "y", "x")
+	join, err := NewJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := NewProject(join, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(proj, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := res.Lookup(db.Tuple{"a"})
+	if !pa.Equal(semiring.MustParsePolynomial("s1^2 + s2*s3")) {
+		t.Errorf("prov(a) = %v, want s1^2 + s2*s3 (Example 2.14)", pa)
+	}
+}
+
+func TestCartesianProduct(t *testing.T) {
+	d := db.NewInstance()
+	d.MustAdd("U", "u1", "a")
+	d.MustAdd("V", "v1", "b")
+	join, err := NewJoin(scan(t, "U", "x"), scan(t, "V", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(join, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := res.Lookup(db.Tuple{"a", "b"})
+	if !p.Equal(semiring.MustParsePolynomial("u1*v1")) {
+		t.Errorf("prov = %v", p)
+	}
+}
+
+func TestUnionAddsAnnotations(t *testing.T) {
+	d := workload.Table2()
+	u, err := NewUnion(scan(t, "R", "x", "y"), scan(t, "R", "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := res.Lookup(db.Tuple{"a", "b"})
+	if !p.Equal(semiring.MustParsePolynomial("2*s2")) {
+		t.Errorf("prov = %v, want 2*s2", p)
+	}
+}
+
+func TestRename(t *testing.T) {
+	d := workload.Table2()
+	r, err := NewRename(scan(t, "R", "x", "y"), "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := r.Columns()
+	if cols[0] != "x" || cols[1] != "z" {
+		t.Errorf("Columns = %v", cols)
+	}
+	res, err := Eval(r, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Errorf("rename must not change tuples:\n%s", res)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewScan("R", "x", "x"); err == nil {
+		t.Error("duplicate scan columns must fail")
+	}
+	s := scan(t, "R", "x", "y")
+	if _, err := NewSelect(s, Condition{Op: OpEq, Left: "zz", Right: "x"}); err == nil {
+		t.Error("unknown select column must fail")
+	}
+	if _, err := NewProject(s, "zz"); err == nil {
+		t.Error("unknown project column must fail")
+	}
+	if _, err := NewProject(s, "x", "x"); err == nil {
+		t.Error("duplicate project column must fail")
+	}
+	if _, err := NewRename(s, "zz", "w"); err == nil {
+		t.Error("unknown rename source must fail")
+	}
+	if _, err := NewRename(s, "x", "y"); err == nil {
+		t.Error("rename onto existing column must fail")
+	}
+	one := scan(t, "S", "x")
+	if _, err := NewUnion(s, one); err == nil {
+		t.Error("incompatible union schemas must fail")
+	}
+}
+
+func TestPlanStrings(t *testing.T) {
+	s := scan(t, "R", "x", "y")
+	sel := Must(NewSelect(s, Condition{Op: OpNeq, Left: "x", Right: "y"}))
+	proj := Must(NewProject(sel, "x"))
+	str := proj.String()
+	if str != "π[x](σ[x!=y](R(x,y)))" {
+		t.Errorf("String = %q", str)
+	}
+}

@@ -1,0 +1,270 @@
+package algebra
+
+import (
+	"fmt"
+
+	"provmin/internal/query"
+)
+
+// Compile translates an SPJU plan into an equivalent UCQ≠ query whose
+// provenance semantics (Def. 2.12) coincides with the plan's N[X] semantics
+// — the tests verify annotated-result equality on every instance tried.
+// Once compiled, the paper's machinery applies: MinProv of the compiled
+// query realizes the core provenance, which is invariant across all
+// equivalent plans (§8's observation, answered by the core).
+func Compile(p Plan) (*query.UCQ, error) {
+	c := &compiler{}
+	bodies, err := c.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("plan is unsatisfiable (contradictory selections on every branch)")
+	}
+	cols := p.Columns()
+	adjuncts := make([]*query.CQ, 0, len(bodies))
+	for _, b := range bodies {
+		headArgs := make([]query.Arg, len(cols))
+		for i, col := range cols {
+			headArgs[i] = b.colArg[col]
+		}
+		q := query.NewCQ(query.NewAtom("ans", headArgs...), b.atoms, b.diseqs)
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("compiled adjunct invalid: %w", err)
+		}
+		adjuncts = append(adjuncts, q)
+	}
+	return &query.UCQ{Adjuncts: adjuncts}, nil
+}
+
+// body is one conjunctive branch under construction.
+type body struct {
+	atoms  []query.Atom
+	diseqs []query.Diseq
+	colArg map[string]query.Arg
+}
+
+func (b *body) clone() *body {
+	nb := &body{
+		atoms:  make([]query.Atom, len(b.atoms)),
+		diseqs: make([]query.Diseq, len(b.diseqs)),
+		colArg: make(map[string]query.Arg, len(b.colArg)),
+	}
+	for i, a := range b.atoms {
+		nb.atoms[i] = a.Clone()
+	}
+	copy(nb.diseqs, b.diseqs)
+	for k, v := range b.colArg {
+		nb.colArg[k] = v
+	}
+	return nb
+}
+
+// substitute replaces variable v by arg throughout the body. It reports
+// false if a disequality collapses (the body becomes unsatisfiable).
+func (b *body) substitute(v string, arg query.Arg) bool {
+	s := query.Subst{v: arg}
+	for i := range b.atoms {
+		for j := range b.atoms[i].Args {
+			b.atoms[i].Args[j] = s.Apply(b.atoms[i].Args[j])
+		}
+	}
+	for i := range b.diseqs {
+		d := query.Diseq{Left: s.Apply(b.diseqs[i].Left), Right: s.Apply(b.diseqs[i].Right)}
+		if d.Left == d.Right {
+			return false
+		}
+		b.diseqs[i] = d.Normalize()
+	}
+	for k, a := range b.colArg {
+		b.colArg[k] = s.Apply(a)
+	}
+	return true
+}
+
+// unify makes the two arguments equal in the body; reports false when that
+// is impossible (distinct constants) or collapses a disequality.
+func (b *body) unify(x, y query.Arg) bool {
+	switch {
+	case x == y:
+		return true
+	case x.Const && y.Const:
+		return false
+	case x.Const:
+		return b.substitute(y.Name, x)
+	default:
+		return b.substitute(x.Name, y)
+	}
+}
+
+type compiler struct {
+	nextVar int
+}
+
+func (c *compiler) fresh() query.Arg {
+	c.nextVar++
+	return query.V(fmt.Sprintf("v%d", c.nextVar))
+}
+
+func (c *compiler) compile(p Plan) ([]*body, error) {
+	switch n := p.(type) {
+	case *Scan:
+		args := make([]query.Arg, len(n.Cols))
+		colArg := map[string]query.Arg{}
+		for i, col := range n.Cols {
+			args[i] = c.fresh()
+			colArg[col] = args[i]
+		}
+		return []*body{{
+			atoms:  []query.Atom{query.NewAtom(n.Rel, args...)},
+			colArg: colArg,
+		}}, nil
+
+	case *Select:
+		in, err := c.compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		var out []*body
+		for _, b := range in {
+			nb := b.clone()
+			ok := true
+			for _, cond := range n.Conds {
+				l := nb.colArg[cond.Left]
+				var r query.Arg
+				if cond.RightIsConst {
+					r = query.C(cond.Right)
+				} else {
+					r = nb.colArg[cond.Right]
+				}
+				switch cond.Op {
+				case OpEq:
+					if !nb.unify(l, r) {
+						ok = false
+					}
+				case OpNeq:
+					// Re-read l, r: earlier conditions may have substituted.
+					l = nb.colArg[cond.Left]
+					if !cond.RightIsConst {
+						r = nb.colArg[cond.Right]
+					}
+					switch {
+					case l == r:
+						ok = false
+					case l.Const && r.Const:
+						// Distinct constants: vacuously true.
+					default:
+						nb.diseqs = append(nb.diseqs, query.NewDiseq(l, r))
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				out = append(out, nb)
+			}
+		}
+		return out, nil
+
+	case *Project:
+		in, err := c.compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range in {
+			kept := map[string]query.Arg{}
+			for _, col := range n.Cols {
+				kept[col] = b.colArg[col]
+			}
+			b.colArg = kept
+		}
+		return in, nil
+
+	case *Join:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		shared := sharedCols(n.L.Columns(), n.R.Columns())
+		leftCols := map[string]bool{}
+		for _, col := range n.L.Columns() {
+			leftCols[col] = true
+		}
+		// Track the right branch's columns under prefixed keys inside the
+		// merged body so that unification substitutions rewrite them too.
+		const rpfx = "\x00r:"
+		var out []*body
+		for _, lb := range l {
+			for _, rb := range r {
+				nb := lb.clone()
+				rc := rb.clone()
+				nb.atoms = append(nb.atoms, rc.atoms...)
+				nb.diseqs = append(nb.diseqs, rc.diseqs...)
+				for col, a := range rc.colArg {
+					nb.colArg[rpfx+col] = a
+				}
+				ok := true
+				for _, col := range shared {
+					if !nb.unify(nb.colArg[col], nb.colArg[rpfx+col]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for col := range rc.colArg {
+						if !leftCols[col] {
+							nb.colArg[col] = nb.colArg[rpfx+col]
+						}
+						delete(nb.colArg, rpfx+col)
+					}
+					out = append(out, nb)
+				}
+			}
+		}
+		return out, nil
+
+	case *Rename:
+		in, err := c.compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range in {
+			if a, ok := b.colArg[n.From]; ok {
+				delete(b.colArg, n.From)
+				b.colArg[n.To] = a
+			}
+		}
+		return in, nil
+
+	case *Union:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	}
+	return nil, fmt.Errorf("unknown plan node %T", p)
+}
+
+func sharedCols(l, r []string) []string {
+	have := map[string]bool{}
+	for _, c := range l {
+		have[c] = true
+	}
+	var out []string
+	for _, c := range r {
+		if have[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package algebra
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/semiring"
+)
+
+// annRow is one tuple with its annotation during plan evaluation.
+type annRow struct {
+	vals db.Tuple
+	prov semiring.Polynomial
+}
+
+// annRel is an intermediate annotated relation: tuples keyed canonically.
+type annRel struct {
+	cols []string
+	rows map[string]*annRow
+}
+
+func newAnnRel(cols []string) *annRel {
+	return &annRel{cols: cols, rows: map[string]*annRow{}}
+}
+
+func (r *annRel) add(vals db.Tuple, p semiring.Polynomial) {
+	k := vals.Key()
+	if row, ok := r.rows[k]; ok {
+		row.prov = row.prov.Add(p)
+		return
+	}
+	r.rows[k] = &annRow{vals: vals.Clone(), prov: p}
+}
+
+// Eval evaluates the plan over an annotated instance under the N[X]
+// semantics of [19]: σ filters, π adds collapsing annotations, ⋈ multiplies,
+// ∪ adds across branches. The resulting provenance depends on the plan, not
+// only on the query it computes — compile the plan and run MinProv to get
+// the plan-invariant core.
+func Eval(p Plan, d *db.Instance) (*eval.Result, error) {
+	rel, err := evalRel(p, d)
+	if err != nil {
+		return nil, err
+	}
+	res := eval.NewResult()
+	for _, row := range rel.rows {
+		res.Add(row.vals, row.prov)
+	}
+	res.Finish()
+	return res, nil
+}
+
+func evalRel(p Plan, d *db.Instance) (*annRel, error) {
+	switch n := p.(type) {
+	case *Scan:
+		out := newAnnRel(n.Cols)
+		stored := d.Lookup(n.Rel)
+		if stored == nil {
+			return out, nil
+		}
+		if stored.Arity != len(n.Cols) {
+			return nil, fmt.Errorf("scan %s: relation has arity %d, plan names %d columns", n.Rel, stored.Arity, len(n.Cols))
+		}
+		for _, row := range stored.Rows() {
+			out.add(row.Tuple, semiring.Var(row.Tag))
+		}
+		return out, nil
+
+	case *Select:
+		in, err := evalRel(n.In, d)
+		if err != nil {
+			return nil, err
+		}
+		idx := colIndex(in.cols)
+		out := newAnnRel(in.cols)
+		for _, row := range in.rows {
+			if selectMatches(n.Conds, idx, row.vals) {
+				out.add(row.vals, row.prov)
+			}
+		}
+		return out, nil
+
+	case *Project:
+		in, err := evalRel(n.In, d)
+		if err != nil {
+			return nil, err
+		}
+		idx := colIndex(in.cols)
+		out := newAnnRel(n.Cols)
+		for _, row := range in.rows {
+			vals := make(db.Tuple, len(n.Cols))
+			for i, c := range n.Cols {
+				vals[i] = row.vals[idx[c]]
+			}
+			out.add(vals, row.prov)
+		}
+		return out, nil
+
+	case *Join:
+		l, err := evalRel(n.L, d)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalRel(n.R, d)
+		if err != nil {
+			return nil, err
+		}
+		cols := n.Columns()
+		lIdx, rIdx := colIndex(l.cols), colIndex(r.cols)
+		var shared [][2]int // (left pos, right pos) of shared columns
+		for c, li := range lIdx {
+			if ri, ok := rIdx[c]; ok {
+				shared = append(shared, [2]int{li, ri})
+			}
+		}
+		out := newAnnRel(cols)
+		for _, lr := range l.rows {
+			for _, rr := range r.rows {
+				ok := true
+				for _, s := range shared {
+					if lr.vals[s[0]] != rr.vals[s[1]] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				vals := make(db.Tuple, len(cols))
+				for i, c := range cols {
+					if li, ok := lIdx[c]; ok {
+						vals[i] = lr.vals[li]
+					} else {
+						vals[i] = rr.vals[rIdx[c]]
+					}
+				}
+				out.add(vals, lr.prov.Mul(rr.prov))
+			}
+		}
+		return out, nil
+
+	case *Rename:
+		in, err := evalRel(n.In, d)
+		if err != nil {
+			return nil, err
+		}
+		out := newAnnRel(n.Columns())
+		for _, row := range in.rows {
+			out.add(row.vals, row.prov)
+		}
+		return out, nil
+
+	case *Union:
+		l, err := evalRel(n.L, d)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalRel(n.R, d)
+		if err != nil {
+			return nil, err
+		}
+		out := newAnnRel(l.cols)
+		for _, row := range l.rows {
+			out.add(row.vals, row.prov)
+		}
+		for _, row := range r.rows {
+			out.add(row.vals, row.prov)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown plan node %T", p)
+}
+
+func colIndex(cols []string) map[string]int {
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		idx[c] = i
+	}
+	return idx
+}
+
+func selectMatches(conds []Condition, idx map[string]int, vals db.Tuple) bool {
+	for _, c := range conds {
+		l := vals[idx[c.Left]]
+		r := c.Right
+		if !c.RightIsConst {
+			r = vals[idx[c.Right]]
+		}
+		switch c.Op {
+		case OpEq:
+			if l != r {
+				return false
+			}
+		case OpNeq:
+			if l == r {
+				return false
+			}
+		}
+	}
+	return true
+}

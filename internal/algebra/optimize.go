@@ -1,0 +1,158 @@
+package algebra
+
+// Plan rewriting: a small rule-based optimizer over SPJU plans. The rewrite
+// rules are the classical equivalences (selection pushdown, selection
+// merging, join commutation). Rewritten plans compute the same query — the
+// compiled UCQ≠ queries are equivalent — but generally carry *different*
+// provenance, which is exactly the §8 phenomenon; the core provenance
+// (MinProv of the compiled query) is invariant under every rule here, and
+// the tests verify it.
+
+// Optimize applies the rewrite rules bottom-up until a fixpoint.
+func Optimize(p Plan) Plan {
+	for {
+		q, changed := rewrite(p)
+		if !changed {
+			return q
+		}
+		p = q
+	}
+}
+
+func rewrite(p Plan) (Plan, bool) {
+	switch n := p.(type) {
+	case *Scan:
+		return n, false
+
+	case *Select:
+		in, changed := rewrite(n.In)
+		if changed {
+			return &Select{In: in, Conds: n.Conds}, true
+		}
+		// Merge nested selections: σ_a(σ_b(x)) -> σ_{a∧b}(x).
+		if inner, ok := in.(*Select); ok {
+			return &Select{In: inner.In, Conds: append(append([]Condition{}, inner.Conds...), n.Conds...)}, true
+		}
+		// Push selection below a union: σ(x ∪ y) -> σ(x) ∪ σ(y).
+		if u, ok := in.(*Union); ok {
+			return &Union{
+				L: &Select{In: u.L, Conds: n.Conds},
+				R: &Select{In: u.R, Conds: n.Conds},
+			}, true
+		}
+		// Push selection into the side of a join that covers its columns.
+		if j, ok := in.(*Join); ok {
+			lCols := colSet(j.L.Columns())
+			rCols := colSet(j.R.Columns())
+			var lConds, rConds, keep []Condition
+			for _, c := range n.Conds {
+				switch {
+				case covered(c, lCols):
+					lConds = append(lConds, c)
+				case covered(c, rCols):
+					rConds = append(rConds, c)
+				default:
+					keep = append(keep, c)
+				}
+			}
+			if len(lConds) > 0 || len(rConds) > 0 {
+				l, r := j.L, j.R
+				if len(lConds) > 0 {
+					l = &Select{In: l, Conds: lConds}
+				}
+				if len(rConds) > 0 {
+					r = &Select{In: r, Conds: rConds}
+				}
+				var out Plan = &Join{L: l, R: r}
+				if len(keep) > 0 {
+					out = &Select{In: out, Conds: keep}
+				}
+				return out, true
+			}
+		}
+		return n, false
+
+	case *Project:
+		in, changed := rewrite(n.In)
+		if changed {
+			return &Project{In: in, Cols: n.Cols}, true
+		}
+		// Collapse nested projections: π_a(π_b(x)) -> π_a(x).
+		if inner, ok := in.(*Project); ok {
+			return &Project{In: inner.In, Cols: n.Cols}, true
+		}
+		// Drop identity projections.
+		if sameCols(n.Cols, in.Columns()) {
+			return in, true
+		}
+		return n, false
+
+	case *Join:
+		l, changedL := rewrite(n.L)
+		r, changedR := rewrite(n.R)
+		if changedL || changedR {
+			return &Join{L: l, R: r}, true
+		}
+		return n, false
+
+	case *Rename:
+		in, changed := rewrite(n.In)
+		if changed {
+			return &Rename{In: in, From: n.From, To: n.To}, true
+		}
+		if n.From == n.To {
+			return in, true
+		}
+		return n, false
+
+	case *Union:
+		l, changedL := rewrite(n.L)
+		r, changedR := rewrite(n.R)
+		if changedL || changedR {
+			return &Union{L: l, R: r}, true
+		}
+		return n, false
+	}
+	return p, false
+}
+
+func colSet(cols []string) map[string]bool {
+	s := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		s[c] = true
+	}
+	return s
+}
+
+func covered(c Condition, cols map[string]bool) bool {
+	if !cols[c.Left] {
+		return false
+	}
+	return c.RightIsConst || cols[c.Right]
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Swap commutes a join: R ⋈ S -> S ⋈ R. Tuple results are identical up to
+// column order of the natural join; the helper reprojects to the original
+// schema so results compare directly. Provenance is unchanged (semiring
+// multiplication commutes), making this the one classical rule that is
+// provenance-neutral — the tests contrast it with projection/selection
+// rules, which are not.
+func Swap(j *Join) (Plan, error) {
+	swapped, err := NewJoin(j.R, j.L)
+	if err != nil {
+		return nil, err
+	}
+	return NewProject(swapped, j.Columns()...)
+}

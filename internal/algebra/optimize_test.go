@@ -1,0 +1,147 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/minimize"
+	"provmin/internal/workload"
+)
+
+func TestOptimizeMergesSelections(t *testing.T) {
+	inner := Must(NewSelect(scan(t, "R", "x", "y"), Condition{Op: OpNeq, Left: "x", Right: "y"}))
+	outer := Must(NewSelect(inner, Condition{Op: OpEq, Left: "x", Right: "a", RightIsConst: true}))
+	opt := Optimize(outer)
+	if strings.Count(opt.String(), "σ") != 1 {
+		t.Errorf("selections not merged: %v", opt)
+	}
+}
+
+func TestOptimizePushesSelectionBelowUnion(t *testing.T) {
+	u := Must(NewUnion(scan(t, "R", "x", "y"), scan(t, "S", "x", "y")))
+	sel := Must(NewSelect(u, Condition{Op: OpNeq, Left: "x", Right: "y"}))
+	opt := Optimize(sel)
+	if _, ok := opt.(*Union); !ok {
+		t.Errorf("selection not pushed below union: %v", opt)
+	}
+}
+
+func TestOptimizePushesSelectionIntoJoin(t *testing.T) {
+	j := Must(NewJoin(scan(t, "R", "x", "y"), scan(t, "S", "y", "z")))
+	sel := Must(NewSelect(j,
+		Condition{Op: OpEq, Left: "x", Right: "a", RightIsConst: true}, // left side
+		Condition{Op: OpNeq, Left: "y", Right: "z"},                    // right side
+		Condition{Op: OpNeq, Left: "x", Right: "z"},                    // spans both: stays
+	))
+	opt := Optimize(sel)
+	s := opt.String()
+	// The x='a' condition must now sit under the join's left input.
+	if !strings.Contains(s, "σ[x='a'](R(x,y))") {
+		t.Errorf("left pushdown missing: %v", s)
+	}
+	if !strings.Contains(s, "σ[y!=z](S(y,z))") {
+		t.Errorf("right pushdown missing: %v", s)
+	}
+	if !strings.Contains(s, "σ[x!=z]") {
+		t.Errorf("spanning condition lost: %v", s)
+	}
+}
+
+func TestOptimizeCollapsesProjections(t *testing.T) {
+	p1 := Must(NewProject(scan(t, "R", "x", "y"), "x", "y"))
+	p2 := Must(NewProject(p1, "x"))
+	opt := Optimize(p2)
+	if strings.Count(opt.String(), "π") != 1 {
+		t.Errorf("projections not collapsed: %v", opt)
+	}
+	// Identity projection disappears entirely.
+	ident := Must(NewProject(scan(t, "R", "x", "y"), "x", "y"))
+	if _, ok := Optimize(ident).(*Scan); !ok {
+		t.Errorf("identity projection kept: %v", Optimize(ident))
+	}
+}
+
+func TestOptimizePreservesResultsAndCore(t *testing.T) {
+	// The optimizer must preserve the computed query exactly (same tuples)
+	// and the core provenance (MinProv of compiled plans), though the raw
+	// provenance may differ.
+	plans := []Plan{
+		Must(NewSelect(
+			Must(NewProject(Must(NewJoin(scan(t, "R", "x", "y"), scan(t, "R", "y", "x"))), "x", "y")),
+			Condition{Op: OpNeq, Left: "x", Right: "y"})),
+		Must(NewSelect(
+			Must(NewUnion(scan(t, "R", "x", "y"), scan(t, "R", "x", "y"))),
+			Condition{Op: OpEq, Left: "x", Right: "a", RightIsConst: true})),
+		Must(NewProject(Must(NewProject(Must(NewJoin(scan(t, "R", "x", "y"), scan(t, "S", "y", "z"))), "x", "y")), "x")),
+	}
+	d := workload.Table2()
+	db.NewGenerator(9).RandomRelation(d, "S", 2, 5, 3)
+	for _, p := range plans {
+		opt := Optimize(p)
+		rOrig, err := Eval(p, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rOpt, err := Eval(opt, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rOrig.SameTuples(rOpt) {
+			t.Fatalf("optimizer changed the result of %v:\n%s\nvs %v:\n%s", p, rOrig, opt, rOpt)
+		}
+		qOrig, err := Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qOpt, err := Compile(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !minimize.Equivalent(qOrig, qOpt) {
+			t.Fatalf("optimizer broke equivalence of %v", p)
+		}
+		coreOrig, err := eval.EvalUCQ(minimize.MinProv(qOrig), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreOpt, err := eval.EvalUCQ(minimize.MinProv(qOpt), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !coreOrig.SameAnnotated(coreOpt) {
+			t.Fatalf("core provenance not invariant under optimization of %v", p)
+		}
+	}
+}
+
+func TestSwapCommutesJoin(t *testing.T) {
+	j := Must(NewJoin(scan(t, "R", "x", "y"), scan(t, "S", "y", "z")))
+	swapped, err := Swap(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewInstance()
+	db.NewGenerator(1).RandomGraph(d, "R", 3, 5)
+	db.NewGenerator(2).RandomRelation(d, "S", 2, 5, 3)
+	a, err := Eval(j, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Eval(swapped, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join commutation is provenance-neutral: annotated results coincide.
+	if !a.SameAnnotated(b) {
+		t.Errorf("join commutation changed provenance:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestOptimizeDropsIdentityRename(t *testing.T) {
+	r := &Rename{In: scan(t, "R", "x", "y"), From: "x", To: "x"}
+	if _, ok := Optimize(r).(*Scan); !ok {
+		t.Errorf("identity rename kept: %v", Optimize(r))
+	}
+}

@@ -1,0 +1,63 @@
+// Package deletion implements deletion propagation / incremental view
+// maintenance from provenance, the third data-management tool the paper's
+// introduction motivates (view maintenance via provenance, citing update
+// exchange).
+//
+// Given the annotated result of a query, deleting a set of input tuples
+// (identified by their annotation tags) invalidates every derivation that
+// uses a deleted tuple; an output tuple survives iff some derivation
+// survives. This is the Boolean specialization of the provenance polynomial
+// with deleted tags set to false — no re-evaluation of the query is needed.
+//
+// Because survival only depends on the witness sets, the survival verdicts
+// computed from the core provenance coincide with those from the full
+// polynomial; the tests verify this and cross-check against genuine
+// re-evaluation on the smaller database.
+package deletion
+
+import (
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/semiring"
+)
+
+// Survives reports whether a tuple with provenance p remains derivable after
+// the tagged input tuples in deleted are removed.
+func Survives(p semiring.Polynomial, deleted map[string]bool) bool {
+	return semiring.Eval[bool](p, semiring.Boolean{}, func(tag string) bool {
+		return !deleted[tag]
+	})
+}
+
+// Propagate computes, from an annotated result alone, which output tuples
+// survive the deletion of the given input tags. Tuples are returned in the
+// result's canonical order.
+func Propagate(res *eval.Result, deleted map[string]bool) (survivors, lost []db.Tuple) {
+	for _, ot := range res.Tuples() {
+		if Survives(ot.Prov, deleted) {
+			survivors = append(survivors, ot.Tuple)
+		} else {
+			lost = append(lost, ot.Tuple)
+		}
+	}
+	return survivors, lost
+}
+
+// DeleteByTags removes from a copy of the instance every tuple whose tag is
+// in deleted, returning the reduced instance. Used by the cross-check
+// against real re-evaluation.
+func DeleteByTags(d *db.Instance, deleted map[string]bool) *db.Instance {
+	out := d.Clone()
+	for _, r := range out.Relations() {
+		var doomed []db.Tuple
+		for _, row := range r.Rows() {
+			if deleted[row.Tag] {
+				doomed = append(doomed, row.Tuple.Clone())
+			}
+		}
+		for _, t := range doomed {
+			r.Delete(t...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package deletion
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/direct"
+	"provmin/internal/eval"
+	"provmin/internal/semiring"
+	"provmin/internal/workload"
+)
+
+func TestSurvives(t *testing.T) {
+	p := semiring.MustParsePolynomial("s1*s2 + s3")
+	if !Survives(p, map[string]bool{"s1": true}) {
+		t.Error("s3 derivation survives deleting s1")
+	}
+	if Survives(p, map[string]bool{"s1": true, "s3": true}) {
+		t.Error("no derivation survives deleting s1 and s3")
+	}
+	if Survives(semiring.Zero, nil) {
+		t.Error("zero polynomial never survives")
+	}
+}
+
+func TestPropagateMatchesReEvaluation(t *testing.T) {
+	// Ground truth: delete the tuples and re-run the query.
+	cases := []map[string]bool{
+		{"s1": true},
+		{"s2": true},
+		{"s2": true, "s3": true},
+		{"s1": true, "s4": true},
+		{},
+	}
+	d := workload.Table2()
+	res, err := eval.EvalUCQ(workload.QUnion, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deleted := range cases {
+		survivors, lost := Propagate(res, deleted)
+		reduced := DeleteByTags(d, deleted)
+		reRes, err := eval.EvalUCQ(workload.QUnion, reduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range survivors {
+			if !reRes.Contains(s) {
+				t.Errorf("deleted %v: %v claimed to survive but re-evaluation disagrees", deleted, s)
+			}
+		}
+		for _, l := range lost {
+			if reRes.Contains(l) {
+				t.Errorf("deleted %v: %v claimed lost but re-evaluation disagrees", deleted, l)
+			}
+		}
+		if len(survivors)+len(lost) != res.Len() {
+			t.Errorf("partition broken: %d + %d != %d", len(survivors), len(lost), res.Len())
+		}
+	}
+}
+
+func TestCoreProvenancePreservesSurvival(t *testing.T) {
+	// Deletion verdicts from the core provenance equal verdicts from the
+	// full polynomial — the compactness payoff for view maintenance.
+	res, err := eval.EvalCQ(workload.QConj, workload.Table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deletions := []map[string]bool{
+		{"s1": true}, {"s2": true}, {"s3": true},
+		{"s1": true, "s2": true}, {"s2": true, "s3": true},
+	}
+	for _, ot := range res.Tuples() {
+		core := direct.CoreUpToCoefficients(ot.Prov)
+		for _, del := range deletions {
+			if Survives(ot.Prov, del) != Survives(core, del) {
+				t.Errorf("tuple %v deletion %v: core and full verdicts differ", ot.Tuple, del)
+			}
+		}
+	}
+}
+
+func TestCoreSurvivalInvariantExhaustive(t *testing.T) {
+	// For a polynomial with dominated monomials and exponents, survival
+	// must agree with the core under every deletion subset.
+	p := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	core := direct.CoreUpToCoefficients(p)
+	vars := p.Vars()
+	for mask := 0; mask < 1<<len(vars); mask++ {
+		del := map[string]bool{}
+		for i, v := range vars {
+			if mask&(1<<i) != 0 {
+				del[v] = true
+			}
+		}
+		if Survives(p, del) != Survives(core, del) {
+			t.Errorf("deletion %v: verdicts differ", del)
+		}
+	}
+}
+
+func TestDeleteByTags(t *testing.T) {
+	d := workload.Table2()
+	out := DeleteByTags(d, map[string]bool{"s2": true, "s4": true})
+	if out.Lookup("R").Len() != 2 {
+		t.Errorf("reduced size = %d, want 2", out.Lookup("R").Len())
+	}
+	if out.Lookup("R").Contains("a", "b") || out.Lookup("R").Contains("b", "b") {
+		t.Error("deleted tuples still present")
+	}
+	// Original untouched.
+	if d.Lookup("R").Len() != 4 {
+		t.Error("DeleteByTags must not mutate the input")
+	}
+}
+
+func TestPropagateOrdersAndTypes(t *testing.T) {
+	d := db.NewInstance()
+	d.MustAdd("R", "r1", "a", "a")
+	res, err := eval.EvalCQ(workload.QConj, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors, lost := Propagate(res, map[string]bool{"r1": true})
+	if len(survivors) != 0 || len(lost) != 1 {
+		t.Errorf("survivors=%v lost=%v", survivors, lost)
+	}
+}

@@ -1,0 +1,101 @@
+// Package prob implements query answering over tuple-independent
+// probabilistic databases using provenance polynomials as input — one of the
+// data-management tools the paper motivates core provenance with (its §1
+// cites query answering in probabilistic databases as a consumer of
+// provenance).
+//
+// Each input tuple (annotation tag) is present independently with a given
+// probability; the probability of an output tuple is the probability that at
+// least one of its derivations survives. Because dropping exponents and
+// dominated monomials does not change the derivation event (the event of a
+// superset witness is contained in the event of its subset), the probability
+// computed from the core provenance equals the probability computed from the
+// full polynomial — with exponentially less work in the best case. The test
+// suite verifies this invariant.
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+
+	"provmin/internal/semiring"
+)
+
+// MaxExactWitnesses bounds the inclusion–exclusion expansion: 2^k terms for
+// k distinct witnesses.
+const MaxExactWitnesses = 20
+
+// Exact computes the exact probability that the output tuple annotated with
+// p is derivable, given independent tuple probabilities. It expands
+// inclusion–exclusion over the distinct witness sets of p and therefore
+// refuses polynomials with more than MaxExactWitnesses distinct witnesses —
+// use MonteCarlo for those.
+func Exact(p semiring.Polynomial, prob func(tag string) float64) (float64, error) {
+	ws := semiring.Why(p).Witnesses()
+	if len(ws) > MaxExactWitnesses {
+		return 0, fmt.Errorf("polynomial has %d witnesses, exact inclusion-exclusion capped at %d", len(ws), MaxExactWitnesses)
+	}
+	if len(ws) == 0 {
+		return 0, nil
+	}
+	total := 0.0
+	for mask := 1; mask < 1<<len(ws); mask++ {
+		union := map[string]bool{}
+		bits := 0
+		for i := range ws {
+			if mask&(1<<i) != 0 {
+				bits++
+				for _, v := range ws[i].Vars() {
+					union[v] = true
+				}
+			}
+		}
+		term := 1.0
+		for v := range union {
+			term *= prob(v)
+		}
+		if bits%2 == 1 {
+			total += term
+		} else {
+			total -= term
+		}
+	}
+	return total, nil
+}
+
+// MonteCarlo estimates the derivation probability by sampling tuple
+// presence. Deterministic in the seed.
+func MonteCarlo(p semiring.Polynomial, prob func(tag string) float64, samples int, seed int64) float64 {
+	ws := semiring.Why(p).Witnesses()
+	if len(ws) == 0 {
+		return 0
+	}
+	vars := p.Vars()
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	present := map[string]bool{}
+	for s := 0; s < samples; s++ {
+		for _, v := range vars {
+			present[v] = rng.Float64() < prob(v)
+		}
+		for _, w := range ws {
+			ok := true
+			for _, v := range w.Vars() {
+				if !present[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// UniformProb returns a constant-probability valuation.
+func UniformProb(q float64) func(string) float64 {
+	return func(string) float64 { return q }
+}

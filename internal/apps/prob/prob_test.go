@@ -1,0 +1,174 @@
+package prob
+
+import (
+	"math"
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/direct"
+	"provmin/internal/eval"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+	"provmin/internal/workload"
+)
+
+func TestExactSingleWitness(t *testing.T) {
+	p := semiring.MustParsePolynomial("s1*s2")
+	got, err := Exact(p, func(v string) float64 {
+		return map[string]float64{"s1": 0.5, "s2": 0.4}[v]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Exact = %v, want 0.2", got)
+	}
+}
+
+func TestExactTwoWitnessesInclusionExclusion(t *testing.T) {
+	// P(s1 ∪ s2) = p1 + p2 - p1*p2.
+	p := semiring.MustParsePolynomial("s1 + s2")
+	got, err := Exact(p, func(v string) float64 {
+		return map[string]float64{"s1": 0.5, "s2": 0.5}[v]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Exact = %v, want 0.75", got)
+	}
+}
+
+func TestExactOverlappingWitnesses(t *testing.T) {
+	// p = s1*s2 + s1*s3 with all probs 1/2:
+	// P = 1/4 + 1/4 - 1/8 = 3/8.
+	p := semiring.MustParsePolynomial("s1*s2 + s1*s3")
+	got, err := Exact(p, UniformProb(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("Exact = %v, want 0.375", got)
+	}
+}
+
+func TestExactZeroAndCap(t *testing.T) {
+	got, err := Exact(semiring.Zero, UniformProb(0.5))
+	if err != nil || got != 0 {
+		t.Errorf("Exact(0) = %v, %v", got, err)
+	}
+	big := semiring.Zero
+	for i := 0; i < MaxExactWitnesses+1; i++ {
+		big = big.AddMonomial(semiring.NewMonomial("t"+string(rune('a'+i%26))+string(rune('a'+i/26))), 1)
+	}
+	if _, err := Exact(big, UniformProb(0.5)); err == nil {
+		t.Error("witness cap must be enforced")
+	}
+}
+
+func TestCoreProbabilityEqualsFullProbability(t *testing.T) {
+	// The paper's motivating invariant: feeding the (cheaper) core
+	// provenance to the probabilistic tool yields the same answer.
+	p := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	core := direct.CoreUpToCoefficients(p)
+	full, err := Exact(p, UniformProb(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCore, err := Exact(core, UniformProb(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-fromCore) > 1e-12 {
+		t.Errorf("probability differs: full=%v core=%v", full, fromCore)
+	}
+}
+
+func TestCoreProbabilityInvariantOnEvaluatedQueries(t *testing.T) {
+	// End to end: evaluate Qconj over Table 2, compare per-tuple
+	// probabilities from raw provenance vs core provenance.
+	res, err := eval.EvalCQ(workload.QConj, workload.Table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ot := range res.Tuples() {
+		full, err := Exact(ot.Prov, UniformProb(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromCore, err := Exact(direct.CoreUpToCoefficients(ot.Prov), UniformProb(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(full-fromCore) > 1e-12 {
+			t.Errorf("tuple %v: full=%v core=%v", ot.Tuple, full, fromCore)
+		}
+	}
+}
+
+func TestMonteCarloConvergesToExact(t *testing.T) {
+	p := semiring.MustParsePolynomial("s1*s2 + s3")
+	probs := func(v string) float64 {
+		return map[string]float64{"s1": 0.9, "s2": 0.5, "s3": 0.2}[v]
+	}
+	exact, err := Exact(p, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := MonteCarlo(p, probs, 200000, 42)
+	if math.Abs(est-exact) > 0.01 {
+		t.Errorf("MonteCarlo = %v, exact = %v", est, exact)
+	}
+}
+
+func TestMonteCarloZero(t *testing.T) {
+	if got := MonteCarlo(semiring.Zero, UniformProb(0.9), 100, 1); got != 0 {
+		t.Errorf("MonteCarlo(0) = %v", got)
+	}
+}
+
+func TestProbabilityAgreesWithGroundTruthEnumeration(t *testing.T) {
+	// Brute-force ground truth over all 2^n worlds of a small instance:
+	// P(t in Q(world)) must equal Exact on the provenance polynomial.
+	d := workload.Table2()
+	u := query.Single(workload.QConj)
+	res, err := eval.EvalUCQ(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := d.Tags()
+	pr := map[string]float64{"s1": 0.3, "s2": 0.7, "s3": 0.5, "s4": 0.9}
+	for _, ot := range res.Tuples() {
+		want := 0.0
+		for mask := 0; mask < 1<<len(tags); mask++ {
+			world := db.NewInstance()
+			wp := 1.0
+			for i, tag := range tags {
+				keep := mask&(1<<i) != 0
+				if keep {
+					wp *= pr[tag]
+				} else {
+					wp *= 1 - pr[tag]
+				}
+				if keep {
+					rel, tuple, _ := d.FactOf(tag)
+					world.MustAdd(rel, tag, tuple...)
+				}
+			}
+			wr, err := eval.EvalUCQ(u, world)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wr.Contains(ot.Tuple) {
+				want += wp
+			}
+		}
+		got, err := Exact(ot.Prov, func(v string) float64 { return pr[v] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("tuple %v: Exact=%v ground truth=%v", ot.Tuple, got, want)
+		}
+	}
+}

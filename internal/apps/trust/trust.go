@@ -1,0 +1,41 @@
+// Package trust implements provenance-based trust assessment, a consumer of
+// provenance polynomials the paper cites in its motivation (§1, §7).
+//
+// Two standard trust models are provided, both obtained by evaluating the
+// provenance polynomial in a coarser semiring (the factorization property of
+// N[X]):
+//
+//   - Cost (tropical semiring, min-plus): every input tuple has a
+//     non-negative access/verification cost; the trustworthiness of an
+//     output tuple is the cost of its cheapest derivation.
+//   - Confidence (Viterbi semiring, max-times): every input tuple has a
+//     confidence in [0,1]; an output tuple's confidence is that of its most
+//     confident derivation.
+//
+// Relationship to core provenance: dropping a dominated monomial never
+// changes either value (a superset derivation costs at least as much and is
+// at most as confident), and dropping exponents can only improve them — the
+// core value is the trust of the *inherent* computation, realized by the
+// p-minimal query. The tests pin down these monotonicity facts.
+package trust
+
+import (
+	"provmin/internal/semiring"
+)
+
+// Cost returns the cheapest-derivation cost of a tuple with provenance p
+// under per-tuple costs. The zero polynomial yields semiring.TropicalInf.
+func Cost(p semiring.Polynomial, cost func(tag string) float64) float64 {
+	return semiring.Eval[float64](p, semiring.Tropical{}, cost)
+}
+
+// Confidence returns the most-confident-derivation value of a tuple with
+// provenance p under per-tuple confidences in [0,1].
+func Confidence(p semiring.Polynomial, conf func(tag string) float64) float64 {
+	return semiring.Eval[float64](p, semiring.Viterbi{}, conf)
+}
+
+// Uniform returns a constant valuation.
+func Uniform(v float64) func(string) float64 {
+	return func(string) float64 { return v }
+}

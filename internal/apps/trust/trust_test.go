@@ -1,0 +1,117 @@
+package trust
+
+import (
+	"math"
+	"testing"
+
+	"provmin/internal/direct"
+	"provmin/internal/eval"
+	"provmin/internal/semiring"
+	"provmin/internal/workload"
+)
+
+func TestCostCheapestDerivation(t *testing.T) {
+	p := semiring.MustParsePolynomial("s1*s2 + s3")
+	costs := func(v string) float64 {
+		return map[string]float64{"s1": 1, "s2": 2, "s3": 10}[v]
+	}
+	if got := Cost(p, costs); got != 3 {
+		t.Errorf("Cost = %v, want 3", got)
+	}
+}
+
+func TestCostRespectsExponents(t *testing.T) {
+	// Using a tuple twice costs twice under the tropical model.
+	p := semiring.MustParsePolynomial("s1^2")
+	if got := Cost(p, Uniform(5)); got != 10 {
+		t.Errorf("Cost(s1^2) = %v, want 10", got)
+	}
+}
+
+func TestCostOfUnderivable(t *testing.T) {
+	if got := Cost(semiring.Zero, Uniform(1)); got != semiring.TropicalInf {
+		t.Errorf("Cost(0) = %v, want inf", got)
+	}
+}
+
+func TestConfidenceMostConfidentDerivation(t *testing.T) {
+	p := semiring.MustParsePolynomial("s1*s2 + s3")
+	conf := func(v string) float64 {
+		return map[string]float64{"s1": 0.9, "s2": 0.9, "s3": 0.5}[v]
+	}
+	if got := Confidence(p, conf); math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("Confidence = %v, want 0.81", got)
+	}
+}
+
+func TestCoreImprovesOrPreservesTrust(t *testing.T) {
+	// The core provenance is realized by an equivalent (p-minimal) query,
+	// so its cheapest derivation can only be cheaper and its best
+	// confidence can only be higher: cost(core) ≤ cost(p) and
+	// conf(core) ≥ conf(p) for non-negative costs and confidences in [0,1].
+	polys := []string{
+		"s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5",
+		"s1*s2 + s1^2",
+		"2*s1*s2*s3 + s4",
+		"s1 + s1*s2",
+	}
+	costs := func(v string) float64 {
+		return map[string]float64{"s1": 3, "s2": 1, "s3": 4, "s4": 7, "s5": 2}[v]
+	}
+	confs := func(v string) float64 {
+		return map[string]float64{"s1": 0.5, "s2": 0.9, "s3": 0.4, "s4": 0.8, "s5": 0.7}[v]
+	}
+	for _, s := range polys {
+		p := semiring.MustParsePolynomial(s)
+		core := direct.CoreUpToCoefficients(p)
+		if Cost(core, costs) > Cost(p, costs) {
+			t.Errorf("%v: core cost %v > full cost %v", p, Cost(core, costs), Cost(p, costs))
+		}
+		if Confidence(core, confs) < Confidence(p, confs) {
+			t.Errorf("%v: core confidence %v < full %v", p, Confidence(core, confs), Confidence(p, confs))
+		}
+	}
+}
+
+func TestCorePreservesTrustOnExponentFreeMinimalPolynomials(t *testing.T) {
+	// When the polynomial is already exponent-free and antichain (its own
+	// core up to coefficients), trust values are identical.
+	p := semiring.MustParsePolynomial("s1*s2 + s3*s4")
+	core := direct.CoreUpToCoefficients(p)
+	costs := Uniform(2)
+	if Cost(p, costs) != Cost(core, costs) {
+		t.Error("cost must be preserved on core-shaped polynomials")
+	}
+}
+
+func TestTrustOnEvaluatedQuery(t *testing.T) {
+	// Qunion vs Qconj on Table 2: equivalent queries, and the terser
+	// provenance gives a no-worse trust assessment for every tuple.
+	costs := func(v string) float64 {
+		return map[string]float64{"s1": 1, "s2": 2, "s3": 3, "s4": 4}[v]
+	}
+	rUnion, err := eval.EvalUCQ(workload.QUnion, workload.Table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rConj, err := eval.EvalCQ(workload.QConj, workload.Table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ot := range rUnion.Tuples() {
+		pc, _ := rConj.Lookup(ot.Tuple)
+		if Cost(ot.Prov, costs) > Cost(pc, costs) {
+			t.Errorf("tuple %v: Qunion cost exceeds Qconj cost", ot.Tuple)
+		}
+	}
+	// Concretely for (a): Qunion gives min(c1, c2+c3) = 1; Qconj gives
+	// min(2*c1, c2+c3) = 2.
+	pa, _ := rUnion.Lookup(rUnion.Tuples()[0].Tuple)
+	if got := Cost(pa, costs); got != 1 {
+		t.Errorf("Qunion cost(a) = %v, want 1", got)
+	}
+	pca, _ := rConj.Lookup(rUnion.Tuples()[0].Tuple)
+	if got := Cost(pca, costs); got != 2 {
+		t.Errorf("Qconj cost(a) = %v, want 2", got)
+	}
+}

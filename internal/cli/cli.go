@@ -1,0 +1,379 @@
+// Package cli implements the provmin command-line interface. The command
+// logic lives here, behind injectable readers/writers, so every subcommand
+// is unit-tested; cmd/provmin is a thin wrapper.
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"provmin/internal/datalog"
+	"provmin/internal/db"
+	"provmin/internal/direct"
+	"provmin/internal/eval"
+	"provmin/internal/minimize"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+	"provmin/internal/store"
+)
+
+// Env carries the I/O environment of a CLI invocation.
+type Env struct {
+	Out       io.Writer
+	Err       io.Writer
+	ReadFile  func(path string) ([]byte, error)
+	WriteFile func(path string, data []byte) error
+}
+
+// DefaultEnv is the real process environment.
+func DefaultEnv() *Env {
+	return &Env{
+		Out:      os.Stdout,
+		Err:      os.Stderr,
+		ReadFile: os.ReadFile,
+		WriteFile: func(path string, data []byte) error {
+			return os.WriteFile(path, data, 0o644)
+		},
+	}
+}
+
+// ExitError signals a non-zero exit with a specific code (e.g. a false
+// containment verdict exits 1 without printing an error).
+type ExitError struct{ Code int }
+
+func (e *ExitError) Error() string { return fmt.Sprintf("exit status %d", e.Code) }
+
+// Run dispatches a full argument vector (without the program name).
+func Run(env *Env, args []string) error {
+	if len(args) < 1 {
+		usage(env.Err)
+		return &ExitError{Code: 2}
+	}
+	switch args[0] {
+	case "eval":
+		return cmdEval(env, args[1:])
+	case "minprov":
+		return cmdMinProv(env, args[1:])
+	case "minimize":
+		return cmdMinimize(env, args[1:])
+	case "core":
+		return cmdCore(env, args[1:])
+	case "contain":
+		return cmdContain(env, args[1:], false)
+	case "equiv":
+		return cmdContain(env, args[1:], true)
+	case "class":
+		return cmdClass(env, args[1:])
+	case "explain":
+		return cmdExplain(env, args[1:])
+	case "unfold":
+		return cmdUnfold(env, args[1:])
+	case "-h", "--help", "help":
+		usage(env.Out)
+		return nil
+	default:
+		fmt.Fprintf(env.Err, "unknown subcommand %q\n", args[0])
+		usage(env.Err)
+		return &ExitError{Code: 2}
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: provmin <subcommand> [flags]
+
+subcommands:
+  eval     -q <rules> -db <file>           evaluate a query with provenance
+  minprov  -q <rules> [-steps]             compute the p-minimal equivalent
+  minimize -q <rules>                      standard minimization baseline
+  core     -poly <p> [-db <file> -tuple a,b -consts a,b]
+                                           direct core provenance
+  contain  -q1 <rules> -q2 <rules>         decide containment
+  equiv    -q1 <rules> -q2 <rules>         decide equivalence
+  class    -q <rules>                      report the query class
+  explain  -q <rules> -db <file> -tuple a,b
+                                           list the derivations of a tuple
+  unfold   -program <file> -goal <pred> [-minprov]
+                                           unfold a non-recursive Datalog view
+`)
+}
+
+func newFlagSet(env *Env, name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(env.Err)
+	return fs
+}
+
+func loadUnion(rules string) (*query.UCQ, error) {
+	if rules == "" {
+		return nil, fmt.Errorf("missing -q")
+	}
+	return query.ParseUnion(rules)
+}
+
+func loadDB(env *Env, path string) (*db.Instance, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -db")
+	}
+	data, err := env.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return db.ParseInstance(string(data))
+}
+
+func cmdEval(env *Env, args []string) error {
+	fs := newFlagSet(env, "eval")
+	q := fs.String("q", "", "query rules")
+	dbPath := fs.String("db", "", "database file")
+	expanded := fs.Bool("expanded", false, "print polynomials in expanded form")
+	out := fs.String("out", "", "also write a provenance store (JSON) for off-line core computation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := loadUnion(*q)
+	if err != nil {
+		return err
+	}
+	d, err := loadDB(env, *dbPath)
+	if err != nil {
+		return err
+	}
+	res, err := eval.EvalUCQ(u, d)
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tuples() {
+		p := t.Prov.String()
+		if *expanded {
+			p = t.Prov.ExpandedString()
+		}
+		fmt.Fprintf(env.Out, "%s\t%s\n", t.Tuple, p)
+	}
+	if *out != "" {
+		var buf bytes.Buffer
+		if err := store.Write(&buf, d, res, u.Consts()); err != nil {
+			return err
+		}
+		if err := env.WriteFile(*out, buf.Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintf(env.Err, "provenance store written to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdMinProv(env *Env, args []string) error {
+	fs := newFlagSet(env, "minprov")
+	q := fs.String("q", "", "query rules")
+	steps := fs.Bool("steps", false, "print the intermediate queries of Algorithm 1")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := loadUnion(*q)
+	if err != nil {
+		return err
+	}
+	st := minimize.MinProvSteps(u)
+	if *steps {
+		fmt.Fprintf(env.Out, "-- step I (%d adjuncts):\n%s\n", len(st.QI.Adjuncts), st.QI)
+		fmt.Fprintf(env.Out, "-- step II (%d adjuncts):\n%s\n", len(st.QII.Adjuncts), st.QII)
+		fmt.Fprintf(env.Out, "-- step III (%d adjuncts):\n", len(st.QIII.Adjuncts))
+	}
+	fmt.Fprintln(env.Out, st.QIII)
+	return nil
+}
+
+func cmdMinimize(env *Env, args []string) error {
+	fs := newFlagSet(env, "minimize")
+	q := fs.String("q", "", "query rules")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := loadUnion(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(env.Out, minimize.StandardMinimizeUCQ(u))
+	return nil
+}
+
+func cmdCore(env *Env, args []string) error {
+	fs := newFlagSet(env, "core")
+	poly := fs.String("poly", "", "provenance polynomial, e.g. \"s1^3 + 3*s1*s2*s3\"")
+	dbPath := fs.String("db", "", "database file (enables exact coefficients)")
+	tuple := fs.String("tuple", "", "output tuple values, comma separated")
+	consts := fs.String("consts", "", "query constants, comma separated")
+	result := fs.String("result", "", "provenance store written by eval -out; computes the exact core of every stored tuple")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *result != "" {
+		data, err := env.ReadFile(*result)
+		if err != nil {
+			return err
+		}
+		d, res, cs, err := store.Read(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		core, err := direct.CoreResult(res, d, cs)
+		if err != nil {
+			return err
+		}
+		for _, t := range core.Tuples() {
+			fmt.Fprintf(env.Out, "%s\t%s\n", t.Tuple, t.Prov)
+		}
+		return nil
+	}
+	if *poly == "" {
+		return fmt.Errorf("missing -poly (or -result)")
+	}
+	p, err := semiring.ParsePolynomial(*poly)
+	if err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		fmt.Fprintln(env.Out, direct.CoreUpToCoefficients(p))
+		fmt.Fprintln(env.Err, "note: coefficients normalized to 1; pass -db/-tuple/-consts for exact coefficients")
+		return nil
+	}
+	d, err := loadDB(env, *dbPath)
+	if err != nil {
+		return err
+	}
+	var t db.Tuple
+	if *tuple != "" {
+		t = db.Tuple(strings.Split(*tuple, ","))
+	}
+	var cs []string
+	if *consts != "" {
+		cs = strings.Split(*consts, ",")
+	}
+	core, err := direct.CoreExact(p, d, t, cs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(env.Out, core)
+	return nil
+}
+
+func cmdContain(env *Env, args []string, equiv bool) error {
+	name := "contain"
+	if equiv {
+		name = "equiv"
+	}
+	fs := newFlagSet(env, name)
+	q1 := fs.String("q1", "", "first query")
+	q2 := fs.String("q2", "", "second query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u1, err := loadUnion(*q1)
+	if err != nil {
+		return fmt.Errorf("-q1: %w", err)
+	}
+	u2, err := loadUnion(*q2)
+	if err != nil {
+		return fmt.Errorf("-q2: %w", err)
+	}
+	var verdict bool
+	if equiv {
+		verdict = minimize.Equivalent(u1, u2)
+	} else {
+		verdict = minimize.Contained(u1, u2)
+	}
+	fmt.Fprintln(env.Out, verdict)
+	if !verdict {
+		return &ExitError{Code: 1}
+	}
+	return nil
+}
+
+func cmdUnfold(env *Env, args []string) error {
+	fs := newFlagSet(env, "unfold")
+	programPath := fs.String("program", "", "Datalog program file")
+	goal := fs.String("goal", "", "intensional predicate to unfold")
+	minprov := fs.Bool("minprov", false, "also apply MinProv to the unfolded query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *programPath == "" || *goal == "" {
+		return fmt.Errorf("missing -program or -goal")
+	}
+	data, err := env.ReadFile(*programPath)
+	if err != nil {
+		return err
+	}
+	p, err := datalog.Parse(string(data))
+	if err != nil {
+		return err
+	}
+	u, err := p.Unfold(*goal)
+	if err != nil {
+		return err
+	}
+	if *minprov {
+		u = minimize.MinProv(u)
+	}
+	fmt.Fprintln(env.Out, u)
+	return nil
+}
+
+func cmdClass(env *Env, args []string) error {
+	fs := newFlagSet(env, "class")
+	q := fs.String("q", "", "query rules")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := loadUnion(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(env.Out, query.ClassOfUnion(u))
+	return nil
+}
+
+func cmdExplain(env *Env, args []string) error {
+	fs := newFlagSet(env, "explain")
+	q := fs.String("q", "", "query rules")
+	dbPath := fs.String("db", "", "database file")
+	tuple := fs.String("tuple", "", "output tuple values, comma separated (empty for boolean queries)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := loadUnion(*q)
+	if err != nil {
+		return err
+	}
+	d, err := loadDB(env, *dbPath)
+	if err != nil {
+		return err
+	}
+	var t db.Tuple
+	if *tuple != "" {
+		t = db.Tuple(strings.Split(*tuple, ","))
+	}
+	ds, err := eval.Derivations(u, d, t)
+	if err != nil {
+		return err
+	}
+	if len(ds) == 0 {
+		fmt.Fprintln(env.Out, "no derivations: the tuple is not in the result")
+		return &ExitError{Code: 1}
+	}
+	for i, dv := range ds {
+		adj := u.Adjuncts[dv.AdjunctIdx]
+		fmt.Fprintf(env.Out, "derivation %d (adjunct %d: %s):\n", i+1, dv.AdjunctIdx+1, adj)
+		for ai, at := range adj.Atoms {
+			rel := d.Lookup(at.Rel)
+			row := rel.Rows()[dv.Assignment.Rows[ai]]
+			fmt.Fprintf(env.Out, "  %s -> %s%s [%s]\n", at, at.Rel, row.Tuple, row.Tag)
+		}
+		fmt.Fprintf(env.Out, "  monomial: %s\n", dv.Monomial)
+	}
+	return nil
+}

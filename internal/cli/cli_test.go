@@ -1,0 +1,207 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const table2Text = `R s1 a a
+R s2 a b
+R s3 b a
+R s4 b b
+`
+
+// testEnv returns an Env with in-memory I/O and a fake filesystem.
+func testEnv(files map[string]string) (*Env, *bytes.Buffer, *bytes.Buffer) {
+	out, errBuf := &bytes.Buffer{}, &bytes.Buffer{}
+	env := &Env{
+		Out: out,
+		Err: errBuf,
+		ReadFile: func(path string) ([]byte, error) {
+			if content, ok := files[path]; ok {
+				return []byte(content), nil
+			}
+			return nil, fmt.Errorf("no such file: %s", path)
+		},
+	}
+	return env, out, errBuf
+}
+
+func run(t *testing.T, files map[string]string, args ...string) (string, string, error) {
+	t.Helper()
+	env, out, errBuf := testEnv(files)
+	err := Run(env, args)
+	return out.String(), errBuf.String(), err
+}
+
+func TestEvalCommand(t *testing.T) {
+	out, _, err := run(t, map[string]string{"t2.db": table2Text},
+		"eval", "-q", "ans(x) :- R(x,y), R(y,x)", "-db", "t2.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(a)\ts1^2 + s2*s3") || !strings.Contains(out, "(b)\ts2*s3 + s4^2") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestEvalExpanded(t *testing.T) {
+	out, _, err := run(t, map[string]string{"t2.db": table2Text},
+		"eval", "-q", "ans(x) :- R(x,y), R(y,x)", "-db", "t2.db", "-expanded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "s1*s1") {
+		t.Errorf("expanded output:\n%s", out)
+	}
+}
+
+func TestMinProvCommand(t *testing.T) {
+	out, _, err := run(t, nil, "minprov", "-q", "ans(x) :- R(x,y), R(y,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "R(v1,v1)") || !strings.Contains(out, "v1 != v2") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestMinProvSteps(t *testing.T) {
+	out, _, err := run(t, nil, "minprov", "-q", "ans() :- R(x,y), R(y,z), R(z,x)", "-steps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "step I (5 adjuncts)") || !strings.Contains(out, "step III (2 adjuncts)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestMinimizeCommand(t *testing.T) {
+	out, _, err := run(t, nil, "minimize", "-q", "ans(x) :- R(x,y), R(x,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "R(") != 1 {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCoreCommandPolyOnly(t *testing.T) {
+	out, errOut, err := run(t, nil, "core", "-poly", "s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "s1 + s2*s4*s5" {
+		t.Errorf("output: %q", out)
+	}
+	if !strings.Contains(errOut, "coefficients normalized") {
+		t.Errorf("stderr: %q", errOut)
+	}
+}
+
+func TestCoreCommandExact(t *testing.T) {
+	d6 := `R s1 a a
+R s2 a b
+R s3 b a
+R s4 b c
+R s5 c a
+`
+	out, _, err := run(t, map[string]string{"d6.db": d6},
+		"core", "-poly", "s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5", "-db", "d6.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "s1 + 3*s2*s4*s5" {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestContainAndEquiv(t *testing.T) {
+	out, _, err := run(t, nil, "contain",
+		"-q1", "ans(x) :- R(x,x)", "-q2", "ans(x) :- R(x,y), R(y,x)")
+	if err != nil || strings.TrimSpace(out) != "true" {
+		t.Errorf("contain: out=%q err=%v", out, err)
+	}
+	out, _, err = run(t, nil, "contain",
+		"-q1", "ans(x) :- R(x,y), R(y,x)", "-q2", "ans(x) :- R(x,x)")
+	var exit *ExitError
+	if !errors.As(err, &exit) || exit.Code != 1 || strings.TrimSpace(out) != "false" {
+		t.Errorf("negative contain: out=%q err=%v", out, err)
+	}
+	out, _, err = run(t, nil, "equiv",
+		"-q1", "ans(x) :- R(x,y), R(y,x)",
+		"-q2", "ans(x) :- R(x,y), R(y,x), x != y; ans(x) :- R(x,x)")
+	if err != nil || strings.TrimSpace(out) != "true" {
+		t.Errorf("equiv: out=%q err=%v", out, err)
+	}
+}
+
+func TestClassCommand(t *testing.T) {
+	out, _, err := run(t, nil, "class", "-q", "ans(x) :- R(x,y), x != y")
+	if err != nil || strings.TrimSpace(out) != "cCQ!=" {
+		t.Errorf("class: out=%q err=%v", out, err)
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	out, _, err := run(t, map[string]string{"t2.db": table2Text},
+		"explain", "-q", "ans(x) :- R(x,y), R(y,x)", "-db", "t2.db", "-tuple", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "derivation 1") || !strings.Contains(out, "monomial: s1^2") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestExplainAbsentTuple(t *testing.T) {
+	out, _, err := run(t, map[string]string{"t2.db": table2Text},
+		"explain", "-q", "ans(x) :- R(x,x)", "-db", "t2.db", "-tuple", "zzz")
+	var exit *ExitError
+	if !errors.As(err, &exit) || exit.Code != 1 {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(out, "no derivations") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	_, errOut, err := run(t, nil)
+	var exit *ExitError
+	if !errors.As(err, &exit) || exit.Code != 2 {
+		t.Errorf("empty args: err = %v", err)
+	}
+	if !strings.Contains(errOut, "usage:") {
+		t.Errorf("stderr: %q", errOut)
+	}
+	_, errOut, err = run(t, nil, "bogus")
+	if !errors.As(err, &exit) || exit.Code != 2 || !strings.Contains(errOut, "unknown subcommand") {
+		t.Errorf("bogus subcommand: err=%v stderr=%q", err, errOut)
+	}
+	out, _, err := run(t, nil, "help")
+	if err != nil || !strings.Contains(out, "usage:") {
+		t.Errorf("help: out=%q err=%v", out, err)
+	}
+}
+
+func TestMissingFlags(t *testing.T) {
+	if _, _, err := run(t, nil, "eval", "-db", "x.db"); err == nil {
+		t.Error("missing -q must fail")
+	}
+	if _, _, err := run(t, nil, "eval", "-q", "ans(x) :- R(x,x)"); err == nil {
+		t.Error("missing -db must fail")
+	}
+	if _, _, err := run(t, nil, "core"); err == nil {
+		t.Error("missing -poly must fail")
+	}
+	if _, _, err := run(t, map[string]string{}, "eval", "-q", "ans(x) :- R(x,x)", "-db", "nope.db"); err == nil {
+		t.Error("unreadable db must fail")
+	}
+	if _, _, err := run(t, nil, "eval", "-q", "not a query", "-db", "x.db"); err == nil {
+		t.Error("bad query must fail")
+	}
+}

@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// storeEnv extends testEnv with a writable fake filesystem.
+func storeEnv(files map[string]string) (*Env, *bytes.Buffer, map[string][]byte) {
+	out := &bytes.Buffer{}
+	written := map[string][]byte{}
+	env := &Env{
+		Out: out,
+		Err: &bytes.Buffer{},
+		ReadFile: func(path string) ([]byte, error) {
+			if content, ok := files[path]; ok {
+				return []byte(content), nil
+			}
+			if data, ok := written[path]; ok {
+				return data, nil
+			}
+			return nil, fmt.Errorf("no such file: %s", path)
+		},
+		WriteFile: func(path string, data []byte) error {
+			written[path] = data
+			return nil
+		},
+	}
+	return env, out, written
+}
+
+// TestOfflineWorkflowThroughCLI drives the full §1/§5 off-line story via
+// the CLI: eval -out stores the annotated result; core -result later
+// recovers the exact core provenance without the query.
+func TestOfflineWorkflowThroughCLI(t *testing.T) {
+	d6 := `R s1 a a
+R s2 a b
+R s3 b a
+R s4 b c
+R s5 c a
+`
+	env, out, written := storeEnv(map[string]string{"d6.db": d6})
+	if err := Run(env, []string{"eval", "-q", "ans() :- R(x,y), R(y,z), R(z,x)", "-db", "d6.db", "-out", "run.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := written["run.json"]; !ok {
+		t.Fatal("store not written")
+	}
+	if !strings.Contains(out.String(), "3*s1*s2*s3") {
+		t.Fatalf("eval output:\n%s", out)
+	}
+
+	env2, out2, _ := storeEnv(nil)
+	env2.ReadFile = func(string) ([]byte, error) { return written["run.json"], nil }
+	if err := Run(env2, []string{"core", "-result", "run.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "s1 + 3*s2*s4*s5") {
+		t.Fatalf("core output:\n%s", out2)
+	}
+}
+
+func TestCoreResultFlagErrors(t *testing.T) {
+	env, _, _ := storeEnv(map[string]string{"bad.json": "{"})
+	if err := Run(env, []string{"core", "-result", "bad.json"}); err == nil {
+		t.Error("corrupt store must fail")
+	}
+	env2, _, _ := storeEnv(nil)
+	if err := Run(env2, []string{"core", "-result", "missing.json"}); err == nil {
+		t.Error("missing store must fail")
+	}
+}

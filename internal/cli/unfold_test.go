@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+const programText = `
+Mutual(x) :- E(x,y), E(y,x)
+Goal(x) :- Mutual(x)
+`
+
+func TestUnfoldCommand(t *testing.T) {
+	out, _, err := run(t, map[string]string{"p.dl": programText},
+		"unfold", "-program", "p.dl", "-goal", "Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Goal(v1) :- E(v1,v2), E(v2,v1)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUnfoldWithMinProv(t *testing.T) {
+	out, _, err := run(t, map[string]string{"p.dl": programText},
+		"unfold", "-program", "p.dl", "-goal", "Goal", "-minprov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "!=") || !strings.Contains(out, "Goal(v1) :- E(v1,v1)") {
+		t.Errorf("p-minimal unfolding:\n%s", out)
+	}
+}
+
+func TestUnfoldCommandErrors(t *testing.T) {
+	if _, _, err := run(t, nil, "unfold", "-goal", "G"); err == nil {
+		t.Error("missing -program must fail")
+	}
+	if _, _, err := run(t, map[string]string{"p.dl": programText},
+		"unfold", "-program", "p.dl", "-goal", "Nope"); err == nil {
+		t.Error("unknown goal must fail")
+	}
+	rec := "T(x) :- T(x)\n"
+	if _, _, err := run(t, map[string]string{"r.dl": rec},
+		"unfold", "-program", "r.dl", "-goal", "T"); err == nil {
+		t.Error("recursive program must fail")
+	}
+}

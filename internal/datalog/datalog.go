@@ -1,0 +1,223 @@
+// Package datalog implements non-recursive Datalog programs over annotated
+// databases. The paper's conclusions (§8) name provenance minimization for
+// Datalog as future work; the non-recursive fragment is exactly the part
+// where the paper's UCQ≠ machinery already applies: every intensional
+// predicate unfolds into a union of conjunctive queries with disequalities
+// over the extensional schema, with composed N[X] provenance, and MinProv
+// then computes its core provenance.
+//
+// A program is a list of rules in the package query rule syntax. Relations
+// that never occur in a rule head are extensional (EDB); the rest are
+// intensional (IDB). Recursion — any cycle among IDB predicates, including
+// self-reference — is detected and rejected.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provmin/internal/query"
+)
+
+// Program is a set of Datalog rules.
+type Program struct {
+	Rules []*query.CQ
+}
+
+// Parse parses a program: one rule per line (or ';'-separated), comments
+// starting with '#' or '--'.
+func Parse(text string) (*Program, error) {
+	var rules []*query.CQ
+	for _, line := range strings.Split(strings.ReplaceAll(text, ";", "\n"), "\n") {
+		s := strings.TrimSpace(line)
+		if s == "" || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "--") {
+			continue
+		}
+		r, err := query.ParseRule(s)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("parse program: no rules found")
+	}
+	p := &Program{Rules: rules}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(text string) *Program {
+	p, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IDB returns the intensional predicates (rule heads), sorted.
+func (p *Program) IDB() []string {
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		seen[r.Head.Rel] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EDB returns the extensional predicates (body-only relations), sorted.
+func (p *Program) EDB() []string {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Rel] = true
+	}
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.Atoms {
+			if !idb[a.Rel] {
+				seen[a.Rel] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks rule-head arity consistency and the absence of recursion.
+func (p *Program) Validate() error {
+	headArity := map[string]int{}
+	for _, r := range p.Rules {
+		if n, ok := headArity[r.Head.Rel]; ok && n != len(r.Head.Args) {
+			return fmt.Errorf("predicate %s defined with arities %d and %d", r.Head.Rel, n, len(r.Head.Args))
+		}
+		headArity[r.Head.Rel] = len(r.Head.Args)
+	}
+	// Cross-rule arity consistency for every relation.
+	arity := map[string]int{}
+	for rel, n := range headArity {
+		arity[rel] = n
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Atoms {
+			if n, ok := arity[a.Rel]; ok && n != len(a.Args) {
+				return fmt.Errorf("relation %s used with arities %d and %d", a.Rel, n, len(a.Args))
+			}
+			arity[a.Rel] = len(a.Args)
+		}
+	}
+	if cycle := p.findCycle(); cycle != nil {
+		return fmt.Errorf("recursive program not supported (the paper leaves Datalog minimization open): cycle %s",
+			strings.Join(cycle, " -> "))
+	}
+	return nil
+}
+
+// findCycle returns a dependency cycle among IDB predicates, or nil.
+func (p *Program) findCycle() []string {
+	idb := map[string]bool{}
+	deps := map[string][]string{}
+	for _, r := range p.Rules {
+		idb[r.Head.Rel] = true
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Atoms {
+			if idb[a.Rel] {
+				deps[r.Head.Rel] = append(deps[r.Head.Rel], a.Rel)
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, m := range deps[n] {
+			switch color[m] {
+			case gray:
+				// Found a cycle: slice the stack from m's occurrence.
+				for i, s := range stack {
+					if s == m {
+						return append(append([]string{}, stack[i:]...), m)
+					}
+				}
+				return []string{m, m}
+			case white:
+				if c := dfs(m); c != nil {
+					return c
+				}
+			}
+		}
+		color[n] = black
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	names := p.IDB()
+	for _, n := range names {
+		if color[n] == white {
+			if c := dfs(n); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// topoOrder returns the IDB predicates in dependency order (dependencies
+// first). The program must be validated (acyclic).
+func (p *Program) topoOrder() []string {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Rel] = true
+	}
+	deps := map[string]map[string]bool{}
+	for _, r := range p.Rules {
+		if deps[r.Head.Rel] == nil {
+			deps[r.Head.Rel] = map[string]bool{}
+		}
+		for _, a := range r.Atoms {
+			if idb[a.Rel] && a.Rel != r.Head.Rel {
+				deps[r.Head.Rel][a.Rel] = true
+			}
+		}
+	}
+	var order []string
+	done := map[string]bool{}
+	var visit func(n string)
+	visit = func(n string) {
+		if done[n] {
+			return
+		}
+		done[n] = true
+		reqs := make([]string, 0, len(deps[n]))
+		for m := range deps[n] {
+			reqs = append(reqs, m)
+		}
+		sort.Strings(reqs)
+		for _, m := range reqs {
+			visit(m)
+		}
+		order = append(order, n)
+	}
+	for _, n := range p.IDB() {
+		visit(n)
+	}
+	return order
+}

@@ -1,0 +1,65 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndClassify(t *testing.T) {
+	p := MustParse(`
+		# two-hop reachability
+		Hop2(x,z) :- E(x,y), E(y,z)
+		Goal(x,z) :- Hop2(x,z)
+		Goal(x,y) :- E(x,y)
+	`)
+	if got := p.IDB(); len(got) != 2 || got[0] != "Goal" || got[1] != "Hop2" {
+		t.Errorf("IDB = %v", got)
+	}
+	if got := p.EDB(); len(got) != 1 || got[0] != "E" {
+		t.Errorf("EDB = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(""); err == nil {
+		t.Error("empty program must fail")
+	}
+	if _, err := Parse("Goal(x) :- "); err == nil {
+		t.Error("bad rule must fail")
+	}
+	if _, err := Parse("Goal(x) :- E(x)\nGoal(x,y) :- E(x), E(y)"); err == nil {
+		t.Error("inconsistent head arity must fail")
+	}
+	if _, err := Parse("Goal(x) :- E(x)\nOther(x) :- E(x), Goal(x,y)"); err == nil {
+		t.Error("inconsistent relation arity must fail")
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	// Self recursion.
+	if _, err := Parse("T(x,y) :- T(x,z), E(z,y)\nT(x,y) :- E(x,y)"); err == nil ||
+		!strings.Contains(err.Error(), "recursive") {
+		t.Errorf("self recursion must be rejected, got %v", err)
+	}
+	// Mutual recursion.
+	if _, err := Parse("A(x) :- B(x)\nB(x) :- A(x)"); err == nil ||
+		!strings.Contains(err.Error(), "recursive") {
+		t.Errorf("mutual recursion must be rejected, got %v", err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	p := MustParse(`
+		C(x) :- B(x), A(x)
+		B(x) :- A(x)
+		A(x) :- E(x)
+	`)
+	order := p.topoOrder()
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos["A"] < pos["B"] && pos["B"] < pos["C"]) {
+		t.Errorf("topoOrder = %v", order)
+	}
+}

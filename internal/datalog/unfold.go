@@ -1,0 +1,298 @@
+package datalog
+
+import (
+	"fmt"
+
+	"provmin/internal/query"
+)
+
+// Unfold rewrites the given intensional predicate into an equivalent UCQ≠
+// over the extensional schema by repeatedly inlining rule bodies. The
+// unfolded query's N[X] provenance is the composed provenance of the view
+// hierarchy: evaluating it over the base annotations equals materializing
+// each intermediate view with its (polynomial) annotations and substituting
+// — the tests verify this compositionality.
+func (p *Program) Unfold(goal string) (*query.UCQ, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Rel] = true
+	}
+	if !idb[goal] {
+		return nil, fmt.Errorf("predicate %s has no rules", goal)
+	}
+
+	u := &unfolder{program: p, idb: idb, defs: map[string][]adjunctDef{}}
+	for _, pred := range p.topoOrder() {
+		if err := u.definePred(pred); err != nil {
+			return nil, err
+		}
+	}
+
+	defs := u.defs[goal]
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("predicate %s unfolds to the empty query (every rule is unsatisfiable)", goal)
+	}
+	adjuncts := make([]*query.CQ, 0, len(defs))
+	for _, d := range defs {
+		q := normalizeVars(query.NewCQ(query.NewAtom(goal, d.head...), d.atoms, d.diseqs))
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("unfolded adjunct invalid: %w", err)
+		}
+		adjuncts = append(adjuncts, q)
+	}
+	return &query.UCQ{Adjuncts: adjuncts}, nil
+}
+
+// adjunctDef is one conjunctive branch of a predicate's definition over the
+// extensional schema.
+type adjunctDef struct {
+	head   []query.Arg
+	atoms  []query.Atom
+	diseqs []query.Diseq
+}
+
+type unfolder struct {
+	program *Program
+	idb     map[string]bool
+	defs    map[string][]adjunctDef
+	fresh   int
+}
+
+func (u *unfolder) freshVar() string {
+	u.fresh++
+	return fmt.Sprintf("u%d", u.fresh)
+}
+
+// definePred computes the EDB-level definition of pred; definitions of its
+// dependencies are already available (topological order).
+func (u *unfolder) definePred(pred string) error {
+	var out []adjunctDef
+	for _, r := range u.program.Rules {
+		if r.Head.Rel != pred {
+			continue
+		}
+		expanded, err := u.expandRule(r)
+		if err != nil {
+			return err
+		}
+		out = append(out, expanded...)
+	}
+	u.defs[pred] = out
+	return nil
+}
+
+// expandRule inlines every IDB atom of the rule with every combination of
+// its definition's adjuncts.
+func (u *unfolder) expandRule(r *query.CQ) ([]adjunctDef, error) {
+	// Rename the rule apart so different uses never clash.
+	r = u.renameApart(r)
+	combos := []combo{{}}
+	for _, at := range r.Atoms {
+		if !u.idb[at.Rel] {
+			for i := range combos {
+				combos[i].atoms = append(combos[i].atoms, at)
+			}
+			continue
+		}
+		defs := u.defs[at.Rel]
+		var next []combo
+		for _, c := range combos {
+			for _, d := range defs {
+				rd := u.renameDef(d)
+				if len(rd.head) != len(at.Args) {
+					return nil, fmt.Errorf("arity mismatch inlining %s", at.Rel)
+				}
+				nc := c.clone()
+				nc.atoms = append(nc.atoms, rd.atoms...)
+				nc.diseqs = append(nc.diseqs, rd.diseqs...)
+				for i := range rd.head {
+					nc.equations = append(nc.equations, [2]query.Arg{rd.head[i], at.Args[i]})
+				}
+				next = append(next, nc)
+			}
+		}
+		combos = next
+	}
+
+	var out []adjunctDef
+	for _, c := range combos {
+		def, ok := c.resolve(r)
+		if ok {
+			out = append(out, def)
+		}
+	}
+	return out, nil
+}
+
+// combo accumulates one inlining choice: collected atoms/diseqs plus the
+// unification equations between definition heads and call-site arguments.
+type combo struct {
+	atoms     []query.Atom
+	diseqs    []query.Diseq
+	equations [][2]query.Arg
+}
+
+func (c combo) clone() combo {
+	nc := combo{
+		atoms:     append([]query.Atom{}, c.atoms...),
+		diseqs:    append([]query.Diseq{}, c.diseqs...),
+		equations: append([][2]query.Arg{}, c.equations...),
+	}
+	return nc
+}
+
+// resolve solves the equations by union-find over arguments and applies the
+// solution to the collected atoms, the rule's own diseqs and its head. It
+// reports ok=false when the equations are unsolvable (distinct constants
+// equated) or a disequality collapses.
+func (c combo) resolve(rule *query.CQ) (adjunctDef, bool) {
+	uf := newUnionFind()
+	for _, eq := range c.equations {
+		if !uf.union(eq[0], eq[1]) {
+			return adjunctDef{}, false
+		}
+	}
+	apply := func(a query.Arg) query.Arg { return uf.find(a) }
+
+	var def adjunctDef
+	for _, at := range c.atoms {
+		args := make([]query.Arg, len(at.Args))
+		for i, a := range at.Args {
+			args[i] = apply(a)
+		}
+		def.atoms = append(def.atoms, query.NewAtom(at.Rel, args...))
+	}
+	allDiseqs := append(append([]query.Diseq{}, c.diseqs...), rule.Diseqs...)
+	for _, d := range allDiseqs {
+		l, r := apply(d.Left), apply(d.Right)
+		if l == r {
+			return adjunctDef{}, false
+		}
+		if l.Const && r.Const {
+			continue // distinct constants: vacuous
+		}
+		def.diseqs = append(def.diseqs, query.NewDiseq(l, r))
+	}
+	def.head = make([]query.Arg, len(rule.Head.Args))
+	for i, a := range rule.Head.Args {
+		def.head[i] = apply(a)
+	}
+	return def, true
+}
+
+// renameApart renames the rule's variables into the unfolder's fresh space.
+func (u *unfolder) renameApart(r *query.CQ) *query.CQ {
+	s := query.Subst{}
+	for _, v := range r.Vars() {
+		s[v] = query.V(u.freshVar())
+	}
+	return r.ApplySubst(s)
+}
+
+// renameDef renames a definition's variables into fresh space.
+func (u *unfolder) renameDef(d adjunctDef) adjunctDef {
+	s := query.Subst{}
+	vars := map[string]bool{}
+	collect := func(a query.Arg) {
+		if !a.Const {
+			vars[a.Name] = true
+		}
+	}
+	for _, a := range d.head {
+		collect(a)
+	}
+	for _, at := range d.atoms {
+		for _, a := range at.Args {
+			collect(a)
+		}
+	}
+	for _, dq := range d.diseqs {
+		collect(dq.Left)
+		collect(dq.Right)
+	}
+	for v := range vars {
+		s[v] = query.V(u.freshVar())
+	}
+	apply := func(a query.Arg) query.Arg { return s.Apply(a) }
+	out := adjunctDef{head: make([]query.Arg, len(d.head))}
+	for i, a := range d.head {
+		out.head[i] = apply(a)
+	}
+	for _, at := range d.atoms {
+		args := make([]query.Arg, len(at.Args))
+		for i, a := range at.Args {
+			args[i] = apply(a)
+		}
+		out.atoms = append(out.atoms, query.NewAtom(at.Rel, args...))
+	}
+	for _, dq := range d.diseqs {
+		out.diseqs = append(out.diseqs, query.NewDiseq(apply(dq.Left), apply(dq.Right)))
+	}
+	return out
+}
+
+// unionFind over query.Arg values; constants are forced class
+// representatives and two distinct constants cannot merge.
+type unionFind struct {
+	parent map[query.Arg]query.Arg
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[query.Arg]query.Arg{}} }
+
+func (u *unionFind) find(a query.Arg) query.Arg {
+	p, ok := u.parent[a]
+	if !ok || p == a {
+		return a
+	}
+	root := u.find(p)
+	u.parent[a] = root
+	return root
+}
+
+func (u *unionFind) union(a, b query.Arg) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return true
+	}
+	switch {
+	case ra.Const && rb.Const:
+		return false
+	case ra.Const:
+		u.parent[rb] = ra
+	default:
+		u.parent[ra] = rb
+	}
+	return true
+}
+
+// normalizeVars renames an adjunct's variables to v1, v2, ... in order of
+// first occurrence (head first), for readable unfolded queries.
+func normalizeVars(q *query.CQ) *query.CQ {
+	s := query.Subst{}
+	next := 0
+	note := func(a query.Arg) {
+		if a.Const {
+			return
+		}
+		if _, ok := s[a.Name]; !ok {
+			next++
+			s[a.Name] = query.V(fmt.Sprintf("v%d", next))
+		}
+	}
+	for _, a := range q.Head.Args {
+		note(a)
+	}
+	for _, at := range q.Atoms {
+		for _, a := range at.Args {
+			note(a)
+		}
+	}
+	for _, d := range q.Diseqs {
+		note(d.Left)
+		note(d.Right)
+	}
+	return q.ApplySubst(s)
+}

@@ -1,0 +1,257 @@
+package datalog
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/minimize"
+	"provmin/internal/order"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+func TestUnfoldSingleView(t *testing.T) {
+	p := MustParse(`
+		Hop2(x,z) :- E(x,y), E(y,z)
+		Goal(x,z) :- Hop2(x,z)
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Adjuncts) != 1 || len(u.Adjuncts[0].Atoms) != 2 {
+		t.Fatalf("unfolded = %v", u)
+	}
+	want := query.MustParseUnion("Goal(x,z) :- E(x,y), E(y,z)")
+	if !minimize.Equivalent(u, want) {
+		t.Errorf("unfolded %v not equivalent to %v", u, want)
+	}
+}
+
+func TestUnfoldUnionOfRules(t *testing.T) {
+	p := MustParse(`
+		Goal(x) :- E(x,y), E(y,x), x != y
+		Goal(x) :- E(x,x)
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Adjuncts) != 2 {
+		t.Fatalf("unfolded = %v", u)
+	}
+}
+
+func TestUnfoldProvenanceMatchesDirectQuery(t *testing.T) {
+	// A two-level view stack computing the triangle query.
+	p := MustParse(`
+		Path2(x,z) :- E(x,y), E(y,z)
+		Tri() :- Path2(x,z), E(z,x)
+	`)
+	u, err := p.Unfold("Tri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewInstance()
+	d.MustAdd("E", "s1", "a", "a")
+	d.MustAdd("E", "s2", "a", "b")
+	d.MustAdd("E", "s3", "b", "a")
+	d.MustAdd("E", "s4", "b", "c")
+	d.MustAdd("E", "s5", "c", "a")
+	got, err := eval.Provenance(u, d, db.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := query.MustParse("ans() :- E(x,y), E(y,z), E(z,x)")
+	want, err := eval.Provenance(query.Single(direct), d, db.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("unfolded provenance %v, direct %v", got, want)
+	}
+}
+
+// TestUnfoldCompositionality: the unfolded provenance equals materializing
+// the intermediate view with its polynomial annotations and substituting —
+// the view-composition semantics of annotated relations.
+func TestUnfoldCompositionality(t *testing.T) {
+	p := MustParse(`
+		V(x) :- E(x,y), E(y,x)
+		Goal(x) :- V(x), U(x)
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewInstance()
+	d.MustAdd("E", "s1", "a", "a")
+	d.MustAdd("E", "s2", "a", "b")
+	d.MustAdd("E", "s3", "b", "a")
+	d.MustAdd("U", "u1", "a")
+	d.MustAdd("U", "u2", "b")
+
+	// Direct unfolded evaluation.
+	res, err := eval.EvalUCQ(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two-step composition: materialize V with its polynomials...
+	vQuery := query.MustParse("ans(x) :- E(x,y), E(y,x)")
+	vRes, err := eval.EvalCQ(vQuery, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then compose Goal(x) = V(x) * U(x) by hand.
+	for _, vt := range vRes.Tuples() {
+		uTag := d.Lookup("U").TagOf(vt.Tuple...)
+		if uTag == "" {
+			continue
+		}
+		want := vt.Prov.Mul(semiring.Var(uTag))
+		got, ok := res.Lookup(vt.Tuple)
+		if !ok {
+			t.Fatalf("tuple %v missing from unfolded result", vt.Tuple)
+		}
+		if !got.Equal(want) {
+			t.Errorf("tuple %v: unfolded %v, composed %v", vt.Tuple, got, want)
+		}
+	}
+}
+
+func TestUnfoldRepeatedHeadVarsUnify(t *testing.T) {
+	// V's head repeats a variable: calling V(a,b) must force a = b.
+	p := MustParse(`
+		V(x,x) :- E(x,x)
+		Goal(a,b) :- V(a,b)
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewInstance()
+	d.MustAdd("E", "s1", "a", "a")
+	d.MustAdd("E", "s2", "a", "b")
+	res, err := eval.EvalUCQ(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !res.Contains(db.Tuple{"a", "a"}) {
+		t.Fatalf("result:\n%s", res)
+	}
+}
+
+func TestUnfoldHeadConstants(t *testing.T) {
+	p := MustParse(`
+		V(x,'tag') :- E(x)
+		Goal(x,y) :- V(x,y)
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewInstance()
+	d.MustAdd("E", "s1", "a")
+	res, err := eval.EvalUCQ(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contains(db.Tuple{"a", "tag"}) {
+		t.Fatalf("result:\n%s", res)
+	}
+	// Calling with an incompatible constant yields an unsatisfiable rule.
+	p2 := MustParse(`
+		V(x,'tag') :- E(x)
+		Goal(x) :- V(x,'other')
+	`)
+	if _, err := p2.Unfold("Goal"); err == nil {
+		t.Error("constant clash should make Goal empty and be reported")
+	}
+}
+
+func TestUnfoldDiseqsPropagate(t *testing.T) {
+	p := MustParse(`
+		V(x,y) :- E(x,y), x != y
+		Goal(x) :- V(x,z), V(z,x), x != z
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := u.Adjuncts[0]
+	if len(adj.Diseqs) != 1 {
+		// x != z appears three times (twice from V, once from the rule) but
+		// normalizes to a single disequality between the two variables.
+		t.Errorf("diseqs = %v", adj.Diseqs)
+	}
+	if len(adj.Atoms) != 2 {
+		t.Errorf("atoms = %v", adj.Atoms)
+	}
+}
+
+func TestUnfoldDiseqCollapseDropsAdjunct(t *testing.T) {
+	// V requires y != 'a'; Goal calls V(x,'a'): contradiction, no adjuncts.
+	p := MustParse(`
+		V(x,y) :- E(x,y), y != 'a'
+		Goal(x) :- V(x,'a')
+	`)
+	if _, err := p.Unfold("Goal"); err == nil {
+		t.Error("contradictory unfolding must report emptiness")
+	}
+}
+
+func TestUnfoldSharedViewUsedTwice(t *testing.T) {
+	// The same view twice in one body: renamed apart, annotations multiply.
+	p := MustParse(`
+		V(x,y) :- E(x,y)
+		Goal() :- V(x,y), V(y,x)
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewInstance()
+	d.MustAdd("E", "s1", "a", "b")
+	d.MustAdd("E", "s2", "b", "a")
+	got, err := eval.Provenance(u, d, db.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(semiring.MustParsePolynomial("2*s1*s2")) {
+		t.Errorf("provenance = %v, want 2*s1*s2", got)
+	}
+}
+
+func TestUnfoldUnknownGoal(t *testing.T) {
+	p := MustParse("Goal(x) :- E(x)")
+	if _, err := p.Unfold("Nope"); err == nil {
+		t.Error("unknown goal must fail")
+	}
+}
+
+// TestUnfoldThenMinProv: the §8 future-work payoff — core provenance of a
+// (non-recursive) Datalog view, via unfolding + MinProv.
+func TestUnfoldThenMinProv(t *testing.T) {
+	p := MustParse(`
+		Mutual(x) :- E(x,y), E(y,x)
+		Goal(x) :- Mutual(x)
+	`)
+	u, err := p.Unfold("Goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmin := minimize.MinProv(u)
+	d := db.NewInstance()
+	d.MustAdd("E", "s1", "a", "a")
+	d.MustAdd("E", "s2", "a", "b")
+	d.MustAdd("E", "s3", "b", "a")
+	rel, err := order.CompareOnDB(pmin, u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != order.Less {
+		t.Errorf("core of the Datalog view should be strictly terser here, got %v", rel)
+	}
+}

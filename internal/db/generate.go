@@ -1,0 +1,111 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces deterministic synthetic instances for tests and
+// benchmarks. All generators are seeded, so runs are reproducible.
+type Generator struct {
+	rng *rand.Rand
+	tag int
+}
+
+// NewGenerator creates a generator with the given seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) nextTag() string {
+	g.tag++
+	return fmt.Sprintf("s%d", g.tag)
+}
+
+// domain returns the value names d0..d{n-1}.
+func domain(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("d%d", i)
+	}
+	return out
+}
+
+// RandomRelation adds a relation with the given arity containing n distinct
+// random tuples over a domain of the given size, each abstractly tagged.
+// n is clamped to the number of possible distinct tuples (domainSize^arity).
+func (g *Generator) RandomRelation(d *Instance, name string, arity, n, domainSize int) *Relation {
+	max := 1
+	for i := 0; i < arity && max < n; i++ {
+		max *= domainSize
+	}
+	if n > max {
+		n = max
+	}
+	r := d.MustRelation(name, arity)
+	dom := domain(domainSize)
+	seen := map[string]bool{}
+	for r.Len() < n {
+		t := make([]string, arity)
+		for i := range t {
+			t[i] = dom[g.rng.Intn(len(dom))]
+		}
+		k := Tuple(t).Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r.MustAdd(g.nextTag(), t...)
+	}
+	return r
+}
+
+// RandomGraph adds a binary relation representing a random directed graph
+// with the given number of nodes and edges (no self-loop restriction).
+func (g *Generator) RandomGraph(d *Instance, name string, nodes, edges int) *Relation {
+	if edges > nodes*nodes {
+		edges = nodes * nodes
+	}
+	r := d.MustRelation(name, 2)
+	dom := domain(nodes)
+	seen := map[string]bool{}
+	for r.Len() < edges {
+		a, b := dom[g.rng.Intn(nodes)], dom[g.rng.Intn(nodes)]
+		k := a + "->" + b
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r.MustAdd(g.nextTag(), a, b)
+	}
+	return r
+}
+
+// Cycle adds a binary relation forming a directed cycle d0 -> d1 -> ... -> d0.
+func (g *Generator) Cycle(d *Instance, name string, nodes int) *Relation {
+	r := d.MustRelation(name, 2)
+	dom := domain(nodes)
+	for i := range dom {
+		r.MustAdd(g.nextTag(), dom[i], dom[(i+1)%len(dom)])
+	}
+	return r
+}
+
+// Path adds a binary relation forming a directed path d0 -> d1 -> ... .
+func (g *Generator) Path(d *Instance, name string, nodes int) *Relation {
+	r := d.MustRelation(name, 2)
+	dom := domain(nodes)
+	for i := 0; i+1 < len(dom); i++ {
+		r.MustAdd(g.nextTag(), dom[i], dom[i+1])
+	}
+	return r
+}
+
+// Unary adds a unary relation containing the first n domain values.
+func (g *Generator) Unary(d *Instance, name string, n int) *Relation {
+	r := d.MustRelation(name, 1)
+	for _, v := range domain(n) {
+		r.MustAdd(g.nextTag(), v)
+	}
+	return r
+}

@@ -1,0 +1,50 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseInstance parses the plain-text instance format used by the CLI:
+// one fact per line,
+//
+//	<relation> <tag> <value> <value> ...
+//
+// e.g. "R s2 a b". Blank lines and lines starting with '#' or '--' are
+// skipped. All facts of a relation must have the same arity.
+func ParseInstance(text string) (*Instance, error) {
+	d := NewInstance()
+	for lineno, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: want \"rel tag values...\", got %q", lineno+1, line)
+		}
+		rel, tag := fields[0], fields[1]
+		if err := d.Add(rel, tag, fields[2:]...); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+	}
+	return d, nil
+}
+
+// FormatInstance renders an instance in the ParseInstance text format.
+func FormatInstance(d *Instance) string {
+	var b strings.Builder
+	for _, r := range d.Relations() {
+		for _, row := range r.Rows() {
+			b.WriteString(r.Name)
+			b.WriteByte(' ')
+			b.WriteString(row.Tag)
+			for _, v := range row.Tuple {
+				b.WriteByte(' ')
+				b.WriteString(v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

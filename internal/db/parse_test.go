@@ -1,0 +1,56 @@
+package db
+
+import "testing"
+
+func TestParseInstance(t *testing.T) {
+	d, err := ParseInstance(`
+# relation R from Table 2
+R s1 a a
+R s2 a b
+
+-- and a unary relation
+S s0 a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lookup("R").Len() != 2 || d.Lookup("S").Len() != 1 {
+		t.Fatalf("parsed:\n%s", d)
+	}
+	if d.Lookup("R").TagOf("a", "b") != "s2" {
+		t.Error("tag lost in parsing")
+	}
+}
+
+func TestParseInstanceZeroArity(t *testing.T) {
+	d, err := ParseInstance("B s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lookup("B").Arity != 0 || d.Lookup("B").Len() != 1 {
+		t.Errorf("zero-arity relation mishandled: %v", d)
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	if _, err := ParseInstance("R"); err == nil {
+		t.Error("missing tag must fail")
+	}
+	if _, err := ParseInstance("R s1 a\nR s2 a b"); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestFormatInstanceRoundTrip(t *testing.T) {
+	d := NewInstance()
+	d.MustAdd("R", "s1", "a", "b")
+	d.MustAdd("S", "s2", "x")
+	text := FormatInstance(d)
+	d2, err := ParseInstance(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatInstance(d2) != text {
+		t.Errorf("round trip failed:\n%q\nvs\n%q", text, FormatInstance(d2))
+	}
+}

@@ -1,0 +1,166 @@
+// Package direct implements Section 5 of the paper: computing the core
+// provenance of an output tuple directly from its provenance polynomial,
+// without rewriting or re-evaluating the query.
+//
+// Theorem 5.1 has two parts, both implemented here:
+//
+//  1. From the polynomial alone, the core is computable in PTIME up to the
+//     number of occurrences of equal monomials (Corollary 5.6): drop
+//     repeated variable occurrences inside each monomial, then drop every
+//     monomial that strictly includes another monomial of the polynomial.
+//  2. With the database D, the output tuple t and Const(Q) also available,
+//     the exact coefficients are recovered (in time exponential in the
+//     monomial size): the coefficient of a surviving monomial m equals the
+//     number of automorphisms of the adjunct that produced it (Lemma 5.7),
+//     and that adjunct can be reconstructed from the tuples named by m
+//     without seeing the query (Lemma 5.9).
+//
+// Both computations assume an abstractly-tagged database; Theorem 6.2 shows
+// the task is impossible otherwise, and CoreExact refuses such inputs.
+package direct
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/hom"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+// CoreUpToCoefficients computes the PTIME part of Theorem 5.1: the core
+// provenance of p with every coefficient normalized to 1. Step II's effect
+// (Lemma 5.3) is modeled by taking each monomial's support; step III's
+// effect (Lemma 5.5, Corollary 5.6) by dropping every monomial that strictly
+// includes another monomial of the polynomial.
+func CoreUpToCoefficients(p semiring.Polynomial) semiring.Polynomial {
+	supports := map[string]semiring.Monomial{}
+	for _, t := range p.Terms() {
+		s := t.Monomial.Support()
+		supports[s.Key()] = s
+	}
+	out := semiring.Zero
+	for k, m := range supports {
+		minimal := true
+		for k2, n := range supports {
+			if k2 != k && n.ProperlyDivides(m) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = out.AddMonomial(m, 1)
+		}
+	}
+	return out
+}
+
+// CoreExact computes the exact core provenance of tuple t (Theorem 5.1 part
+// 2): the minimal support monomials of p, each with coefficient Aut(m)
+// computed from the database and the query's constants. The database must
+// be abstractly tagged (Theorem 6.2 shows exactness is unattainable
+// otherwise).
+func CoreExact(p semiring.Polynomial, d *db.Instance, t db.Tuple, consts []string) (semiring.Polynomial, error) {
+	if !d.IsAbstractlyTagged() {
+		return semiring.Zero, fmt.Errorf("direct core computation requires an abstractly-tagged database (Theorem 6.2)")
+	}
+	base := CoreUpToCoefficients(p)
+	out := semiring.Zero
+	for _, m := range base.Monomials() {
+		k, err := Aut(m, d, t, consts)
+		if err != nil {
+			return semiring.Zero, err
+		}
+		out = out.AddMonomial(m, k)
+	}
+	return out, nil
+}
+
+// Aut computes Aut(m) per Lemma 5.9: the number of automorphisms of the
+// (p-minimal) adjunct that yielded monomial m, reconstructed from the
+// database facts named by m's variables, the output tuple and the query's
+// constants — all without access to the query itself.
+func Aut(m semiring.Monomial, d *db.Instance, t db.Tuple, consts []string) (int, error) {
+	q, err := ReconstructAdjunct(m, d, t, consts)
+	if err != nil {
+		return 0, err
+	}
+	return hom.CountAutomorphisms(q), nil
+}
+
+// ReconstructAdjunct rebuilds, up to isomorphism, the complete adjunct whose
+// assignment produced the support monomial m (Lemma 5.9): every variable of
+// m names a fact of D which becomes one relational atom; domain values that
+// are constants of the query stay constants, all other values become
+// distinct variables; the head is the tuple t under the same mapping; and
+// the full set of disequalities is added (the adjunct is complete).
+func ReconstructAdjunct(m semiring.Monomial, d *db.Instance, t db.Tuple, consts []string) (*query.CQ, error) {
+	isConst := map[string]bool{}
+	for _, c := range consts {
+		isConst[c] = true
+	}
+	varOf := map[string]string{}
+	next := 0
+	argFor := func(value string) query.Arg {
+		if isConst[value] {
+			return query.C(value)
+		}
+		if v, ok := varOf[value]; ok {
+			return query.V(v)
+		}
+		next++
+		v := fmt.Sprintf("v%d", next)
+		varOf[value] = v
+		return query.V(v)
+	}
+
+	var atoms []query.Atom
+	for _, tm := range m.Terms() {
+		if tm.Exp != 1 {
+			return nil, fmt.Errorf("monomial %v is not a support monomial", m)
+		}
+		rel, tuple, ok := d.FactOf(tm.Var)
+		if !ok {
+			return nil, fmt.Errorf("annotation %s does not tag any fact of the database", tm.Var)
+		}
+		args := make([]query.Arg, len(tuple))
+		for i, val := range tuple {
+			args[i] = argFor(val)
+		}
+		atoms = append(atoms, query.NewAtom(rel, args...))
+	}
+
+	headArgs := make([]query.Arg, len(t))
+	for i, val := range t {
+		headArgs[i] = argFor(val)
+	}
+	head := query.NewAtom("ans", headArgs...)
+
+	// Complete the query: all pairwise variable disequalities plus variable
+	// vs constant disequalities.
+	var vars []string
+	for _, v := range varOf {
+		vars = append(vars, v)
+	}
+	var ds []query.Diseq
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			ds = append(ds, query.NewDiseq(query.V(vars[i]), query.V(vars[j])))
+		}
+		for _, c := range consts {
+			ds = append(ds, query.NewDiseq(query.V(vars[i]), query.C(c)))
+		}
+	}
+	q := query.NewCQ(head, atoms, ds)
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("reconstructed adjunct invalid (is t an output of a query over these facts?): %w", err)
+	}
+	return q, nil
+}
+
+// CoreSizeReduction reports the size (total variable occurrences) of p and
+// of its core-up-to-coefficients, the measure used by the compactness
+// experiments (E8).
+func CoreSizeReduction(p semiring.Polynomial) (orig, core int) {
+	return p.Size(), CoreUpToCoefficients(p).Size()
+}

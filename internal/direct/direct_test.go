@@ -1,0 +1,247 @@
+package direct
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/minimize"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+func tableD6() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "c")
+	d.MustAdd("R", "s5", "c", "a")
+	return d
+}
+
+func table2() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "b")
+	return d
+}
+
+func TestCoreUpToCoefficientsSection5Example(t *testing.T) {
+	// pI of Q̂ over D̂ (Example 5.2) reduces to s1 + s2*s4*s5 up to
+	// coefficients: supports are s1, s1*s2*s3 (dropped: contains s1) and
+	// s2*s4*s5.
+	p := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	got := CoreUpToCoefficients(p)
+	want := semiring.MustParsePolynomial("s1 + s2*s4*s5")
+	if !got.Equal(want) {
+		t.Errorf("CoreUpToCoefficients = %v, want %v", got, want)
+	}
+}
+
+func TestCoreUpToCoefficientsDropsExponentsOnly(t *testing.T) {
+	p := semiring.MustParsePolynomial("s1^2 + 5*s2^3*s3")
+	got := CoreUpToCoefficients(p)
+	want := semiring.MustParsePolynomial("s1 + s2*s3")
+	if !got.Equal(want) {
+		t.Errorf("CoreUpToCoefficients = %v, want %v", got, want)
+	}
+}
+
+func TestCoreUpToCoefficientsZero(t *testing.T) {
+	if !CoreUpToCoefficients(semiring.Zero).IsZero() {
+		t.Error("core of 0 is 0")
+	}
+}
+
+func TestCoreExactSection5Example(t *testing.T) {
+	// Example 5.8: the exact core is s1 + 3*s2*s4*s5, the coefficient 3
+	// being the automorphism count of the triangle adjunct.
+	p := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	got, err := CoreExact(p, tableD6(), db.Tuple{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := semiring.MustParsePolynomial("s1 + 3*s2*s4*s5")
+	if !got.Equal(want) {
+		t.Errorf("CoreExact = %v, want %v", got, want)
+	}
+}
+
+func TestAutTriangle(t *testing.T) {
+	k, err := Aut(semiring.NewMonomial("s2", "s4", "s5"), tableD6(), db.Tuple{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Errorf("Aut(s2*s4*s5) = %d, want 3", k)
+	}
+	k, err = Aut(semiring.NewMonomial("s1"), tableD6(), db.Tuple{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("Aut(s1) = %d, want 1", k)
+	}
+}
+
+func TestReconstructAdjunct(t *testing.T) {
+	q, err := ReconstructAdjunct(semiring.NewMonomial("s2", "s3"), table2(), db.Tuple{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 || len(q.Head.Args) != 1 {
+		t.Fatalf("reconstructed = %v", q)
+	}
+	if !q.IsComplete() {
+		t.Errorf("reconstructed adjunct must be complete: %v", q)
+	}
+	// The head variable is the one standing for value "a".
+	if q.Head.Args[0].Const {
+		t.Errorf("head should be a variable: %v", q.Head)
+	}
+}
+
+func TestReconstructAdjunctWithConstants(t *testing.T) {
+	// Value "a" is a query constant: it must stay constant.
+	q, err := ReconstructAdjunct(semiring.NewMonomial("s2"), table2(), db.Tuple{"b"}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fact s2 = R(a,b): expect atom R('a', v) and head ans(v).
+	at := q.Atoms[0]
+	if at.Args[0] != query.C("a") || at.Args[1].Const {
+		t.Errorf("atom = %v, want R('a', v)", at)
+	}
+	if !q.HasDiseq(at.Args[1], query.C("a")) {
+		t.Errorf("completion w.r.t. constants missing: %v", q)
+	}
+}
+
+func TestReconstructAdjunctErrors(t *testing.T) {
+	if _, err := ReconstructAdjunct(semiring.NewMonomial("zz"), table2(), db.Tuple{}, nil); err == nil {
+		t.Error("unknown tag must fail")
+	}
+	if _, err := ReconstructAdjunct(semiring.NewMonomial("s1", "s1"), table2(), db.Tuple{}, nil); err == nil {
+		t.Error("non-support monomial must fail")
+	}
+	// A head value that appears in no fact of the monomial is invalid.
+	if _, err := ReconstructAdjunct(semiring.NewMonomial("s1"), table2(), db.Tuple{"zzz"}, nil); err == nil {
+		t.Error("unsafe reconstructed head must fail")
+	}
+}
+
+// TestTheorem51DirectEqualsMinProv is the headline correctness property of
+// Section 5: for each query and database, the direct computation from
+// P(t,Q,D) agrees with evaluating MinProv(Q), for every output tuple.
+func TestTheorem51DirectEqualsMinProv(t *testing.T) {
+	suite := []string{
+		"ans(x) :- R(x,y), R(y,x)",
+		"ans() :- R(x,y), R(y,z), R(z,x)",
+		"ans() :- R(x,y), R(y,z), x != z",
+		"ans(x) :- R(x,y), x != y",
+		"ans(x,y) :- R(x,y), x != 'a', x != y",
+	}
+	dbs := []*db.Instance{table2(), tableD6()}
+	for seed := int64(0); seed < 3; seed++ {
+		d := db.NewInstance()
+		g := db.NewGenerator(seed)
+		g.RandomGraph(d, "R", 4, 8)
+		dbs = append(dbs, d)
+	}
+	// Make sure constant 'a' can appear in generated instances too.
+	da := db.NewInstance()
+	da.MustAdd("R", "r1", "a", "d1")
+	da.MustAdd("R", "r2", "d1", "a")
+	da.MustAdd("R", "r3", "a", "a")
+	dbs = append(dbs, da)
+
+	for _, s := range suite {
+		q := query.MustParse(s)
+		u := query.Single(q)
+		pm := minimize.MinProv(u)
+		for di, d := range dbs {
+			rq, err := eval.EvalUCQ(u, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rpm, err := eval.EvalUCQ(pm, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ot := range rq.Tuples() {
+				got, err := CoreExact(ot.Prov, d, ot.Tuple, q.Consts())
+				if err != nil {
+					t.Fatalf("CoreExact(%v): %v", ot.Prov, err)
+				}
+				want, _ := rpm.Lookup(ot.Tuple)
+				if !got.Equal(want) {
+					t.Errorf("query %v db %d tuple %v:\n direct  = %v\n minprov = %v\n from p  = %v",
+						q, di, ot.Tuple, got, want, ot.Prov)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem62NonAbstractRejected(t *testing.T) {
+	d := db.NewInstance()
+	d.MustAdd("R", "s", "a")
+	d.MustAdd("R", "s", "b")
+	p := semiring.MustParsePolynomial("s^2")
+	if _, err := CoreExact(p, d, db.Tuple{"a"}, nil); err == nil {
+		t.Error("CoreExact must refuse non-abstractly-tagged databases")
+	}
+}
+
+func TestTheorem62Counterexample(t *testing.T) {
+	// The two queries of the Theorem 6.2 proof have identical provenance on
+	// the shared-tag database but different p-minimal provenance.
+	d := db.NewInstance()
+	d.MustAdd("R", "s", "a")
+	d.MustAdd("R", "s", "b")
+	q := query.MustParseUnion("ans(x) :- R(x), R(y), x != y")
+	qp := query.MustParseUnion("ans(x) :- R(x), R(x)")
+	tup := db.Tuple{"a"}
+	p1, err := eval.Provenance(q, d, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := eval.Provenance(qp, d, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(p2) || !p1.Equal(semiring.MustParsePolynomial("s^2")) {
+		t.Fatalf("both provenances should be s^2: %v vs %v", p1, p2)
+	}
+	m1, err := eval.Provenance(minimize.MinProv(q), d, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := eval.Provenance(minimize.MinProv(qp), d, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Equal(m2) {
+		t.Errorf("Theorem 6.2: p-minimal provenances must differ, both = %v", m1)
+	}
+	if !m1.Equal(semiring.MustParsePolynomial("s^2")) {
+		t.Errorf("P(t, MinProv(Q), D) = %v, want s^2", m1)
+	}
+	if !m2.Equal(semiring.MustParsePolynomial("s")) {
+		t.Errorf("P(t, MinProv(Q'), D) = %v, want s", m2)
+	}
+}
+
+func TestCoreSizeReduction(t *testing.T) {
+	p := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	orig, core := CoreSizeReduction(p)
+	if orig != 21 { // 3 + 3*3 + 3*3
+		t.Errorf("orig = %d, want 21", orig)
+	}
+	if core != 4 { // s1 + s2*s4*s5
+		t.Errorf("core = %d, want 4", core)
+	}
+}

@@ -1,0 +1,42 @@
+package direct_test
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/direct"
+	"provmin/internal/semiring"
+)
+
+func ExampleCoreUpToCoefficients() {
+	// pI of the paper's Section 5 example (Q̂ over D̂).
+	p := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	fmt.Println(direct.CoreUpToCoefficients(p))
+	// Output:
+	// s1 + s2*s4*s5
+}
+
+func ExampleCoreExact() {
+	d := db.NewInstance() // D̂, Table 6
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "c")
+	d.MustAdd("R", "s5", "c", "a")
+	p := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5")
+	core, _ := direct.CoreExact(p, d, db.Tuple{}, nil)
+	fmt.Println(core) // coefficient 3 = |Aut| of the triangle adjunct
+	// Output:
+	// s1 + 3*s2*s4*s5
+}
+
+func ExampleAut() {
+	d := db.NewInstance()
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s4", "b", "c")
+	d.MustAdd("R", "s5", "c", "a")
+	k, _ := direct.Aut(semiring.NewMonomial("s2", "s4", "s5"), d, db.Tuple{}, nil)
+	fmt.Println(k)
+	// Output:
+	// 3
+}

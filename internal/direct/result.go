@@ -1,0 +1,35 @@
+package direct
+
+import (
+	"provmin/internal/db"
+	"provmin/internal/eval"
+)
+
+// CoreResult applies direct core computation to every tuple of an annotated
+// result, producing the result the p-minimal query would have yielded —
+// without knowing or rewriting the query. Exact coefficients require the
+// (abstractly-tagged) database and the query's constants, per Theorem 5.1.
+func CoreResult(res *eval.Result, d *db.Instance, consts []string) (*eval.Result, error) {
+	out := eval.NewResult()
+	for _, ot := range res.Tuples() {
+		core, err := CoreExact(ot.Prov, d, ot.Tuple, consts)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(ot.Tuple, core)
+	}
+	out.Finish()
+	return out, nil
+}
+
+// CoreResultUpToCoefficients is the PTIME whole-result variant: every
+// tuple's polynomial is replaced by its core up to coefficients, from the
+// polynomials alone.
+func CoreResultUpToCoefficients(res *eval.Result) *eval.Result {
+	out := eval.NewResult()
+	for _, ot := range res.Tuples() {
+		out.Add(ot.Tuple, CoreUpToCoefficients(ot.Prov))
+	}
+	out.Finish()
+	return out
+}

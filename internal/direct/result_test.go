@@ -1,0 +1,62 @@
+package direct
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/minimize"
+	"provmin/internal/query"
+)
+
+func TestCoreResultEqualsMinProvResult(t *testing.T) {
+	q := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	u := query.Single(q)
+	d := table2()
+	res, err := eval.EvalUCQ(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CoreResult(res, d, q.Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eval.EvalUCQ(minimize.MinProv(u), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameAnnotated(want) {
+		t.Errorf("CoreResult:\n%s\nwant MinProv result:\n%s", got, want)
+	}
+}
+
+func TestCoreResultUpToCoefficients(t *testing.T) {
+	q := query.MustParse("ans() :- R(x,y), R(y,z), R(z,x)")
+	d := tableD6()
+	res, err := eval.EvalCQ(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CoreResultUpToCoefficients(res)
+	p, _ := got.Lookup(db.Tuple{})
+	// s1 + s2*s4*s5 with unit coefficients.
+	if p.NumMonomials() != 2 || p.NumOccurrences() != 2 {
+		t.Errorf("core up to coefficients = %v", p)
+	}
+	if got.TotalProvenanceSize() >= res.TotalProvenanceSize() {
+		t.Error("core result should be smaller")
+	}
+}
+
+func TestCoreResultRejectsNonAbstract(t *testing.T) {
+	d := db.NewInstance()
+	d.MustAdd("R", "s", "a")
+	d.MustAdd("R", "s", "b")
+	res, err := eval.EvalCQ(query.MustParse("ans(x) :- R(x)"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoreResult(res, d, nil); err == nil {
+		t.Error("CoreResult must refuse non-abstractly-tagged databases")
+	}
+}

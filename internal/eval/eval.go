@@ -1,0 +1,326 @@
+// Package eval implements provenance-aware evaluation of conjunctive
+// queries and unions over annotated instances, following Def. 2.6
+// (assignments) and Def. 2.12 (provenance of query results): the provenance
+// of an output tuple t is the sum, over all assignments yielding t, of the
+// product of the annotations of the tuples the assignment uses.
+package eval
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+// AtomOrder selects the join-order heuristic for assignment enumeration.
+type AtomOrder int
+
+const (
+	// OrderGreedy reorders atoms so each step binds as many already-bound
+	// variables as possible (most-constrained-first). The default.
+	OrderGreedy AtomOrder = iota
+	// OrderAsWritten enumerates atoms in the body order of the query. Used
+	// by the evaluator ablation benchmark.
+	OrderAsWritten
+)
+
+// Options configures evaluation.
+type Options struct {
+	Order   AtomOrder
+	NoIndex bool // disable the per-column index (ablation)
+}
+
+// Assignment is a satisfying assignment of a query's relational atoms to
+// database rows (Def. 2.6). Atom i is mapped to row Rows[i] of the relation
+// named by the atom; Binding is the induced mapping on variables.
+type Assignment struct {
+	Rows    []int             // per body-atom row index
+	Binding map[string]string // variable -> domain value
+}
+
+// EvalCQ evaluates a conjunctive query and returns its annotated result.
+func EvalCQ(q *query.CQ, d *db.Instance) (*Result, error) {
+	return EvalCQOpts(q, d, Options{})
+}
+
+// EvalCQOpts evaluates with explicit options.
+func EvalCQOpts(q *query.CQ, d *db.Instance, opts Options) (*Result, error) {
+	res := newResult()
+	err := ForEachAssignment(q, d, opts, func(a Assignment) error {
+		t := headTuple(q, a.Binding)
+		m := assignmentMonomial(q, d, a)
+		res.add(t, semiring.FromMonomial(m, 1))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.finish()
+	return res, nil
+}
+
+// EvalUCQ evaluates a union adjunct by adjunct, summing provenance
+// (Def. 2.12 for unions).
+func EvalUCQ(u *query.UCQ, d *db.Instance) (*Result, error) {
+	return EvalUCQOpts(u, d, Options{})
+}
+
+// EvalUCQOpts evaluates a union with explicit options.
+func EvalUCQOpts(u *query.UCQ, d *db.Instance, opts Options) (*Result, error) {
+	res := newResult()
+	for _, q := range u.Adjuncts {
+		err := ForEachAssignment(q, d, opts, func(a Assignment) error {
+			t := headTuple(q, a.Binding)
+			m := assignmentMonomial(q, d, a)
+			res.add(t, semiring.FromMonomial(m, 1))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.finish()
+	return res, nil
+}
+
+// Provenance returns P(t, Q, D) for one tuple (the zero polynomial when t is
+// not in the result).
+func Provenance(u *query.UCQ, d *db.Instance, t db.Tuple) (semiring.Polynomial, error) {
+	res, err := EvalUCQ(u, d)
+	if err != nil {
+		return semiring.Zero, err
+	}
+	p, _ := res.Lookup(t)
+	return p, nil
+}
+
+// EvalInSemiring evaluates the union and maps every output annotation
+// through the semiring homomorphism induced by val, exploiting the
+// factorization property of N[X].
+func EvalInSemiring[T any](u *query.UCQ, d *db.Instance, k semiring.Semiring[T], val func(tag string) T) (map[string]T, []db.Tuple, error) {
+	res, err := EvalUCQ(u, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]T, res.Len())
+	tuples := make([]db.Tuple, 0, res.Len())
+	for _, ot := range res.Tuples() {
+		out[ot.Tuple.Key()] = semiring.Eval[T](ot.Prov, k, val)
+		tuples = append(tuples, ot.Tuple)
+	}
+	return out, tuples, nil
+}
+
+// ForEachAssignment enumerates every satisfying assignment of q over d and
+// invokes fn for each. Enumeration order is deterministic. fn may return an
+// error to abort.
+func ForEachAssignment(q *query.CQ, d *db.Instance, opts Options, fn func(Assignment) error) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, at := range q.Atoms {
+		if r := d.Lookup(at.Rel); r != nil && r.Arity != len(at.Args) {
+			return fmt.Errorf("atom %s: relation has arity %d", at, r.Arity)
+		}
+	}
+	order := atomOrder(q, opts.Order)
+	e := &enumerator{q: q, d: d, opts: opts, order: order, fn: fn,
+		binding: map[string]string{}, rows: make([]int, len(q.Atoms))}
+	return e.extend(0)
+}
+
+// atomOrder returns the order in which body atoms are matched.
+func atomOrder(q *query.CQ, mode AtomOrder) []int {
+	n := len(q.Atoms)
+	order := make([]int, n)
+	if mode == OrderAsWritten {
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	for step := 0; step < n; step++ {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, a := range q.Atoms[i].Args {
+				if a.Const || bound[a.Name] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		order[step] = best
+		used[best] = true
+		for _, a := range q.Atoms[best].Args {
+			if !a.Const {
+				bound[a.Name] = true
+			}
+		}
+	}
+	return order
+}
+
+type enumerator struct {
+	q       *query.CQ
+	d       *db.Instance
+	opts    Options
+	order   []int
+	fn      func(Assignment) error
+	binding map[string]string
+	rows    []int
+}
+
+func (e *enumerator) extend(step int) error {
+	if step == len(e.order) {
+		if !e.diseqsSatisfied() {
+			return nil
+		}
+		rows := make([]int, len(e.rows))
+		copy(rows, e.rows)
+		b := make(map[string]string, len(e.binding))
+		for k, v := range e.binding {
+			b[k] = v
+		}
+		return e.fn(Assignment{Rows: rows, Binding: b})
+	}
+	atomIdx := e.order[step]
+	at := e.q.Atoms[atomIdx]
+	rel := e.d.Lookup(at.Rel)
+	if rel == nil {
+		return nil // empty relation: no assignments
+	}
+	for _, rowIdx := range e.candidates(rel, at) {
+		row := rel.Rows()[rowIdx]
+		newly, ok := e.tryBind(at, row.Tuple)
+		if ok && e.diseqsConsistent() {
+			e.rows[atomIdx] = rowIdx
+			if err := e.extend(step + 1); err != nil {
+				return err
+			}
+		}
+		for _, v := range newly {
+			delete(e.binding, v)
+		}
+	}
+	return nil
+}
+
+// candidates returns the row indices that could match the atom, using the
+// column index on the first bound position when available.
+func (e *enumerator) candidates(rel *db.Relation, at query.Atom) []int {
+	if !e.opts.NoIndex {
+		for col, a := range at.Args {
+			if a.Const {
+				return rel.RowsWith(col, a.Name)
+			}
+			if v, ok := e.binding[a.Name]; ok {
+				return rel.RowsWith(col, v)
+			}
+		}
+	}
+	all := make([]int, rel.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// tryBind attempts to unify the atom's arguments with the tuple, extending
+// the binding. It returns the variables newly bound (for rollback) and
+// whether unification succeeded; on failure the binding is already restored.
+func (e *enumerator) tryBind(at query.Atom, t db.Tuple) (newly []string, ok bool) {
+	for i, a := range at.Args {
+		if a.Const {
+			if a.Name != t[i] {
+				e.rollback(newly)
+				return nil, false
+			}
+			continue
+		}
+		if v, bound := e.binding[a.Name]; bound {
+			if v != t[i] {
+				e.rollback(newly)
+				return nil, false
+			}
+			continue
+		}
+		e.binding[a.Name] = t[i]
+		newly = append(newly, a.Name)
+	}
+	return newly, true
+}
+
+func (e *enumerator) rollback(newly []string) {
+	for _, v := range newly {
+		delete(e.binding, v)
+	}
+}
+
+// diseqsConsistent checks only disequalities whose sides are both decided;
+// it prunes the search without rejecting extendable partial bindings.
+func (e *enumerator) diseqsConsistent() bool {
+	for _, d := range e.q.Diseqs {
+		l, lok := e.valueOf(d.Left)
+		r, rok := e.valueOf(d.Right)
+		if lok && rok && l == r {
+			return false
+		}
+	}
+	return true
+}
+
+// diseqsSatisfied verifies every disequality under the full binding.
+func (e *enumerator) diseqsSatisfied() bool {
+	for _, d := range e.q.Diseqs {
+		l, lok := e.valueOf(d.Left)
+		r, rok := e.valueOf(d.Right)
+		if !lok || !rok {
+			return false // unbound diseq variable: invalid query, but Validate catches it
+		}
+		if l == r {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *enumerator) valueOf(a query.Arg) (string, bool) {
+	if a.Const {
+		return a.Name, true
+	}
+	v, ok := e.binding[a.Name]
+	return v, ok
+}
+
+// headTuple instantiates the head under a binding.
+func headTuple(q *query.CQ, binding map[string]string) db.Tuple {
+	out := make(db.Tuple, len(q.Head.Args))
+	for i, a := range q.Head.Args {
+		if a.Const {
+			out[i] = a.Name
+		} else {
+			out[i] = binding[a.Name]
+		}
+	}
+	return out
+}
+
+// assignmentMonomial computes the product of the annotations of the rows an
+// assignment uses, with multiplicity (Def. 2.12).
+func assignmentMonomial(q *query.CQ, d *db.Instance, a Assignment) semiring.Monomial {
+	tags := make([]string, 0, len(q.Atoms))
+	for i, at := range q.Atoms {
+		rel := d.Lookup(at.Rel)
+		tags = append(tags, rel.Rows()[a.Rows[i]].Tag)
+	}
+	return semiring.NewMonomial(tags...)
+}

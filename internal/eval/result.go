@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"sort"
+	"strings"
+
+	"provmin/internal/db"
+	"provmin/internal/semiring"
+)
+
+// OutTuple is one output tuple with its provenance annotation.
+type OutTuple struct {
+	Tuple db.Tuple
+	Prov  semiring.Polynomial
+}
+
+// Result is an annotated query result: a set of tuples, each with its
+// provenance polynomial, in canonical (sorted) order.
+type Result struct {
+	tuples []OutTuple
+	byKey  map[string]int
+}
+
+func newResult() *Result { return &Result{byKey: map[string]int{}} }
+
+// NewResult creates an empty annotated result for external producers (the
+// algebra evaluator builds results tuple by tuple). Call Add for each tuple
+// contribution and Finish once before handing the result out.
+func NewResult() *Result { return newResult() }
+
+// Add accumulates provenance p onto tuple t.
+func (r *Result) Add(t db.Tuple, p semiring.Polynomial) { r.add(t, p) }
+
+// Finish puts the result into canonical order; required after the last Add.
+func (r *Result) Finish() { r.finish() }
+
+func (r *Result) add(t db.Tuple, p semiring.Polynomial) {
+	if i, ok := r.byKey[t.Key()]; ok {
+		r.tuples[i].Prov = r.tuples[i].Prov.Add(p)
+		return
+	}
+	r.byKey[t.Key()] = len(r.tuples)
+	r.tuples = append(r.tuples, OutTuple{Tuple: t.Clone(), Prov: p})
+}
+
+// finish puts tuples in canonical order for deterministic output.
+func (r *Result) finish() {
+	sort.Slice(r.tuples, func(i, j int) bool {
+		return r.tuples[i].Tuple.Key() < r.tuples[j].Tuple.Key()
+	})
+	for i, t := range r.tuples {
+		r.byKey[t.Tuple.Key()] = i
+	}
+}
+
+// Len returns the number of distinct output tuples.
+func (r *Result) Len() int { return len(r.tuples) }
+
+// Tuples returns the output tuples in canonical order. Do not modify.
+func (r *Result) Tuples() []OutTuple { return r.tuples }
+
+// Lookup returns the provenance of t and whether t is in the result.
+func (r *Result) Lookup(t db.Tuple) (semiring.Polynomial, bool) {
+	if i, ok := r.byKey[t.Key()]; ok {
+		return r.tuples[i].Prov, true
+	}
+	return semiring.Zero, false
+}
+
+// Contains reports membership of the tuple in the result.
+func (r *Result) Contains(t db.Tuple) bool {
+	_, ok := r.byKey[t.Key()]
+	return ok
+}
+
+// SameTuples reports whether two results contain exactly the same tuple sets
+// (ignoring provenance) — i.e. equality under set semantics.
+func (r *Result) SameTuples(o *Result) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !o.Contains(t.Tuple) {
+			return false
+		}
+	}
+	return true
+}
+
+// SameAnnotated reports whether two results agree on tuples and provenance.
+func (r *Result) SameAnnotated(o *Result) bool {
+	if !r.SameTuples(o) {
+		return false
+	}
+	for _, t := range r.tuples {
+		p, _ := o.Lookup(t.Tuple)
+		if !t.Prov.Equal(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalProvenanceSize sums Polynomial.Size over all output tuples; the
+// compactness experiments report this measure.
+func (r *Result) TotalProvenanceSize() int {
+	n := 0
+	for _, t := range r.tuples {
+		n += t.Prov.Size()
+	}
+	return n
+}
+
+// String renders the result as a small table, tuples in canonical order.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, t := range r.tuples {
+		b.WriteString(t.Tuple.String())
+		b.WriteString("  ")
+		b.WriteString(t.Prov.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/semiring"
+)
+
+func TestResultAccumulatesProvenance(t *testing.T) {
+	r := newResult()
+	r.add(db.Tuple{"a"}, semiring.Var("s1"))
+	r.add(db.Tuple{"a"}, semiring.Var("s2"))
+	r.add(db.Tuple{"b"}, semiring.Var("s3"))
+	r.finish()
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	p, ok := r.Lookup(db.Tuple{"a"})
+	if !ok || !p.Equal(semiring.MustParsePolynomial("s1 + s2")) {
+		t.Errorf("prov(a) = %v", p)
+	}
+}
+
+func TestResultCanonicalOrder(t *testing.T) {
+	r := newResult()
+	r.add(db.Tuple{"z"}, semiring.Var("s1"))
+	r.add(db.Tuple{"a"}, semiring.Var("s2"))
+	r.add(db.Tuple{"m"}, semiring.Var("s3"))
+	r.finish()
+	ts := r.Tuples()
+	if ts[0].Tuple[0] != "a" || ts[1].Tuple[0] != "m" || ts[2].Tuple[0] != "z" {
+		t.Errorf("order = %v", ts)
+	}
+	// Lookup must still work after reordering.
+	if p, ok := r.Lookup(db.Tuple{"z"}); !ok || !p.Equal(semiring.Var("s1")) {
+		t.Errorf("Lookup(z) = %v, %v", p, ok)
+	}
+}
+
+func TestResultComparisons(t *testing.T) {
+	a := newResult()
+	a.add(db.Tuple{"x"}, semiring.Var("s1"))
+	a.finish()
+	b := newResult()
+	b.add(db.Tuple{"x"}, semiring.Var("s2"))
+	b.finish()
+	if !a.SameTuples(b) {
+		t.Error("same tuple sets must compare equal under SameTuples")
+	}
+	if a.SameAnnotated(b) {
+		t.Error("different provenance must fail SameAnnotated")
+	}
+	c := newResult()
+	c.add(db.Tuple{"x"}, semiring.Var("s1"))
+	c.add(db.Tuple{"y"}, semiring.Var("s1"))
+	c.finish()
+	if a.SameTuples(c) {
+		t.Error("different tuple sets must not compare equal")
+	}
+}
+
+func TestResultTotalProvenanceSize(t *testing.T) {
+	r := newResult()
+	r.add(db.Tuple{"x"}, semiring.MustParsePolynomial("s1^2*s2 + s3"))
+	r.add(db.Tuple{"y"}, semiring.Var("s4"))
+	r.finish()
+	if got := r.TotalProvenanceSize(); got != 5 {
+		t.Errorf("TotalProvenanceSize = %d, want 5", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := newResult()
+	r.add(db.Tuple{"a", "b"}, semiring.Var("s1"))
+	r.finish()
+	if s := r.String(); !strings.Contains(s, "(a,b)") || !strings.Contains(s, "s1") {
+		t.Errorf("String = %q", s)
+	}
+}

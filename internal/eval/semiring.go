@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"provmin/internal/db"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+// EvalDirect evaluates a union directly in an arbitrary commutative
+// semiring, multiplying tag valuations per assignment and adding across
+// assignments — without materializing N[X] polynomials. By the
+// factorization property this agrees with EvalInSemiring (which evaluates
+// the polynomial afterwards), but skips the polynomial construction; the
+// evaluator ablation benchmark quantifies the saving.
+func EvalDirect[T any](u *query.UCQ, d *db.Instance, k semiring.Semiring[T], val func(tag string) T) (map[string]T, []db.Tuple, error) {
+	acc := map[string]T{}
+	var tuples []db.Tuple
+	for _, q := range u.Adjuncts {
+		err := ForEachAssignment(q, d, Options{}, func(a Assignment) error {
+			t := headTuple(q, a.Binding)
+			term := k.One()
+			for i, at := range q.Atoms {
+				rel := d.Lookup(at.Rel)
+				term = k.Mul(term, val(rel.Rows()[a.Rows[i]].Tag))
+			}
+			key := t.Key()
+			if cur, ok := acc[key]; ok {
+				acc[key] = k.Add(cur, term)
+			} else {
+				acc[key] = term
+				tuples = append(tuples, t)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return acc, tuples, nil
+}
+
+// Derivations returns the assignments that yield tuple t, each with the
+// monomial it contributes — the explanations of t. The monomials sum to
+// P(t, Q, D). AdjunctIdx identifies which adjunct produced the derivation.
+type Derivation struct {
+	AdjunctIdx int
+	Assignment Assignment
+	Monomial   semiring.Monomial
+}
+
+// Derivations enumerates all derivations of t under u over d.
+func Derivations(u *query.UCQ, d *db.Instance, t db.Tuple) ([]Derivation, error) {
+	var out []Derivation
+	for ai, q := range u.Adjuncts {
+		err := ForEachAssignment(q, d, Options{}, func(a Assignment) error {
+			if !headTuple(q, a.Binding).Equal(t) {
+				return nil
+			}
+			out = append(out, Derivation{
+				AdjunctIdx: ai,
+				Assignment: a,
+				Monomial:   assignmentMonomial(q, d, a),
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

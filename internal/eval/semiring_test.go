@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+func TestEvalDirectAgreesWithPolynomialPath(t *testing.T) {
+	u := query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	d := table2()
+	val := func(tag string) int {
+		return map[string]int{"s1": 2, "s2": 3, "s3": 5, "s4": 7}[tag]
+	}
+	viaPoly, tuplesPoly, err := EvalInSemiring[int](u, d, semiring.Counting{}, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, tuplesDirect, err := EvalDirect[int](u, d, semiring.Counting{}, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuplesPoly) != len(tuplesDirect) {
+		t.Fatalf("tuple sets differ: %v vs %v", tuplesPoly, tuplesDirect)
+	}
+	for k, v := range viaPoly {
+		if direct[k] != v {
+			t.Errorf("tuple %q: direct=%d poly=%d", k, direct[k], v)
+		}
+	}
+}
+
+func TestEvalDirectBoolean(t *testing.T) {
+	u := query.MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	vals, _, err := EvalDirect[bool](u, table2(), semiring.Boolean{}, func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("vals = %v", vals)
+	}
+	for k, v := range vals {
+		if !v {
+			t.Errorf("tuple %q should be derivable", k)
+		}
+	}
+}
+
+func TestEvalDirectTropical(t *testing.T) {
+	u := query.MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	cost := func(tag string) float64 {
+		return map[string]float64{"s1": 1, "s2": 2, "s3": 3, "s4": 4}[tag]
+	}
+	vals, _, err := EvalDirect[float64](u, table2(), semiring.Tropical{}, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a): min(1+1, 2+3) = 2; (b): min(4+4, 2+3) = 5.
+	if vals[db.Tuple{"a"}.Key()] != 2 {
+		t.Errorf("cost(a) = %v, want 2", vals[db.Tuple{"a"}.Key()])
+	}
+	if vals[db.Tuple{"b"}.Key()] != 5 {
+		t.Errorf("cost(b) = %v, want 5", vals[db.Tuple{"b"}.Key()])
+	}
+}
+
+func TestDerivationsExplainTuple(t *testing.T) {
+	u := query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	ds, err := Derivations(u, table2(), db.Tuple{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("derivations = %v", ds)
+	}
+	// One from each adjunct, and their monomials sum to the provenance.
+	sum := semiring.Zero
+	adjSeen := map[int]bool{}
+	for _, dv := range ds {
+		adjSeen[dv.AdjunctIdx] = true
+		sum = sum.AddMonomial(dv.Monomial, 1)
+	}
+	if !adjSeen[0] || !adjSeen[1] {
+		t.Errorf("expected one derivation per adjunct: %v", ds)
+	}
+	p, err := Provenance(u, table2(), db.Tuple{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(p) {
+		t.Errorf("derivation monomials sum to %v, provenance is %v", sum, p)
+	}
+}
+
+func TestDerivationsAbsentTuple(t *testing.T) {
+	u := query.MustParseUnion("ans(x) :- R(x,x)")
+	ds, err := Derivations(u, table2(), db.Tuple{"zzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("derivations of absent tuple = %v", ds)
+	}
+}

@@ -1,0 +1,85 @@
+package hom
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/query"
+)
+
+// ContainedCQ decides q1 ⊆ q2 for disequality-free conjunctive queries via
+// the Chandra–Merlin homomorphism theorem (Theorem 3.1): q1 ⊆ q2 iff there
+// is a homomorphism from q2 to q1.
+func ContainedCQ(q1, q2 *query.CQ) (bool, error) {
+	if q1.HasDiseqs() || q2.HasDiseqs() {
+		return false, fmt.Errorf("ContainedCQ requires disequality-free queries; use minimize.Contained")
+	}
+	return Exists(q2, q1), nil
+}
+
+// EquivalentCQ decides q1 ≡ q2 for disequality-free conjunctive queries.
+func EquivalentCQ(q1, q2 *query.CQ) (bool, error) {
+	c1, err := ContainedCQ(q1, q2)
+	if err != nil {
+		return false, err
+	}
+	if !c1 {
+		return false, nil
+	}
+	return ContainedCQ(q2, q1)
+}
+
+// ContainedCompleteLHS decides q1 ⊆ q2 where q1 is complete (and, for
+// soundness, complete with respect to Const(q2) as well — Lemma 4.9's
+// hypothesis) and q2 is any CQ≠, using Theorem 3.1's second form: q1 ⊆ q2
+// iff there is a homomorphism from q2 to q1. The completeness precondition
+// is checked.
+func ContainedCompleteLHS(q1, q2 *query.CQ) (bool, error) {
+	if !q1.IsCompleteWRT(q2.Consts()) {
+		return false, fmt.Errorf("left query must be complete w.r.t. the right query's constants")
+	}
+	return Exists(q2, q1), nil
+}
+
+// Freeze builds the canonical database of a disequality-free query: every
+// variable becomes a fresh domain value (its own name, prefixed to avoid
+// clashing with constants) and every atom becomes a tuple tagged f1, f2, ...
+// It also returns the frozen head tuple.
+func Freeze(q *query.CQ) (*db.Instance, db.Tuple) {
+	inst := db.NewInstance()
+	val := func(a query.Arg) string {
+		if a.Const {
+			return a.Name
+		}
+		return "_" + a.Name
+	}
+	for i, at := range q.Atoms {
+		vals := make([]string, len(at.Args))
+		for j, a := range at.Args {
+			vals[j] = val(a)
+		}
+		inst.MustAdd(at.Rel, fmt.Sprintf("f%d", i+1), vals...)
+	}
+	head := make(db.Tuple, len(q.Head.Args))
+	for i, a := range q.Head.Args {
+		head[i] = val(a)
+	}
+	return inst, head
+}
+
+// ContainedCQViaCanonicalDB decides q1 ⊆ q2 for disequality-free queries by
+// the canonical-database method: evaluate q2 over the frozen q1 and test
+// whether the frozen head appears. It is an independent cross-check of
+// ContainedCQ used by the test suite and the containment benchmarks.
+func ContainedCQViaCanonicalDB(q1, q2 *query.CQ) (bool, error) {
+	if q1.HasDiseqs() || q2.HasDiseqs() {
+		return false, fmt.Errorf("canonical-database containment requires disequality-free queries")
+	}
+	inst, head := Freeze(q1)
+	res, err := eval.EvalCQ(q2, inst)
+	if err != nil {
+		return false, err
+	}
+	return res.Contains(head), nil
+}

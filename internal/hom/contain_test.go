@@ -1,0 +1,143 @@
+package hom
+
+import (
+	"math/rand"
+	"testing"
+
+	"provmin/internal/query"
+)
+
+func TestExample29Containment(t *testing.T) {
+	q2 := query.MustParse("ans(x) :- R(x,x)")
+	qconj := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	got, err := ContainedCQ(q2, qconj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("Q2 ⊆ Qconj (Example 2.9)")
+	}
+	rev, err := ContainedCQ(qconj, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev {
+		t.Error("Qconj ⊄ Q2")
+	}
+}
+
+func TestEquivalentCQ(t *testing.T) {
+	a := query.MustParse("ans(x) :- R(x,y), R(x,z)")
+	b := query.MustParse("ans(x) :- R(x,y)")
+	eq, err := EquivalentCQ(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("R(x,y),R(x,z) ≡ R(x,y)")
+	}
+	c := query.MustParse("ans(x) :- R(y,x)")
+	eq, err = EquivalentCQ(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("different column bindings are not equivalent")
+	}
+}
+
+func TestContainedCQRejectsDiseqs(t *testing.T) {
+	a := query.MustParse("ans() :- R(x,y), x != y")
+	b := query.MustParse("ans() :- R(x,y)")
+	if _, err := ContainedCQ(a, b); err == nil {
+		t.Error("ContainedCQ must reject queries with disequalities")
+	}
+}
+
+func TestContainedCompleteLHS(t *testing.T) {
+	// Complete query: ans(x) :- R(x,y), x != y. Is it contained in
+	// ans(x) :- R(x,y)? Yes: hom from the latter to the former.
+	c := query.MustParse("ans(x) :- R(x,y), x != y")
+	g := query.MustParse("ans(x) :- R(x,y)")
+	got, err := ContainedCompleteLHS(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("complete query should be contained in its relaxation")
+	}
+	// Containment fails against an unrelated query.
+	u := query.MustParse("ans(x) :- S(x)")
+	got, err = ContainedCompleteLHS(c, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("R-query is not contained in S-query")
+	}
+}
+
+func TestContainedCompleteLHSPreconditions(t *testing.T) {
+	incomplete := query.MustParse("ans() :- R(x,y), R(y,z), x != z")
+	g := query.MustParse("ans() :- R(x,y)")
+	if _, err := ContainedCompleteLHS(incomplete, g); err == nil {
+		t.Error("incomplete left query must be rejected")
+	}
+	// Complete but not w.r.t. the right query's constants.
+	c := query.MustParse("ans(x) :- R(x,y), x != y")
+	withConst := query.MustParse("ans(x) :- R(x,'c')")
+	if _, err := ContainedCompleteLHS(c, withConst); err == nil {
+		t.Error("left query must be complete w.r.t. right constants")
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	q := query.MustParse("ans(x) :- R(x,y), S(y,'c')")
+	inst, head := Freeze(q)
+	if inst.Lookup("R") == nil || inst.Lookup("S") == nil {
+		t.Fatal("frozen instance missing relations")
+	}
+	if !inst.Lookup("R").Contains("_x", "_y") {
+		t.Error("frozen R tuple missing")
+	}
+	if !inst.Lookup("S").Contains("_y", "c") {
+		t.Error("frozen S tuple must keep the constant")
+	}
+	if len(head) != 1 || head[0] != "_x" {
+		t.Errorf("frozen head = %v", head)
+	}
+	if !inst.IsAbstractlyTagged() {
+		t.Error("frozen instance must be abstractly tagged")
+	}
+}
+
+func TestCanonicalDBAgreesWithHomomorphism(t *testing.T) {
+	// Cross-validate the two containment procedures on random CQ pairs.
+	rng := rand.New(rand.NewSource(11))
+	rels := []string{"R", "S"}
+	genCQ := func() *query.CQ {
+		nAtoms := 1 + rng.Intn(3)
+		vars := []string{"x", "y", "z"}
+		atoms := make([]query.Atom, nAtoms)
+		for i := range atoms {
+			atoms[i] = query.NewAtom(rels[rng.Intn(len(rels))],
+				query.V(vars[rng.Intn(len(vars))]), query.V(vars[rng.Intn(len(vars))]))
+		}
+		head := query.NewAtom("ans", atoms[0].Args[0])
+		return query.NewCQ(head, atoms, nil)
+	}
+	for i := 0; i < 300; i++ {
+		q1, q2 := genCQ(), genCQ()
+		byHom, err := ContainedCQ(q1, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byDB, err := ContainedCQViaCanonicalDB(q1, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byHom != byDB {
+			t.Fatalf("containment disagreement on\n%v\n%v\nhom=%v db=%v", q1, q2, byHom, byDB)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package hom_test
+
+import (
+	"fmt"
+
+	"provmin/internal/hom"
+	"provmin/internal/query"
+)
+
+func ExampleExists() {
+	// Example 2.11: a homomorphism from Qconj to Q2 exists, none back.
+	qconj := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	q2 := query.MustParse("ans(x) :- R(x,x)")
+	fmt.Println(hom.Exists(qconj, q2), hom.Exists(q2, qconj))
+	// Output:
+	// true false
+}
+
+func ExampleExistsSurjective() {
+	// Theorem 3.3's hypothesis on Example 3.4's pair.
+	q := query.MustParse("ans() :- R(x), R(y)")
+	qp := query.MustParse("ans() :- R(x)")
+	fmt.Println(hom.ExistsSurjective(q, qp), hom.ExistsSurjective(qp, q))
+	// Output:
+	// true false
+}
+
+func ExampleCountAutomorphisms() {
+	tri := query.MustParse("ans() :- R(x,y), R(y,z), R(z,x)")
+	fmt.Println(hom.CountAutomorphisms(tri))
+	// Output:
+	// 3
+}
+
+func ExampleContainedCQ() {
+	q2 := query.MustParse("ans(x) :- R(x,x)")
+	qconj := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	ok, _ := hom.ContainedCQ(q2, qconj)
+	fmt.Println(ok)
+	// Output:
+	// true
+}

@@ -1,0 +1,248 @@
+// Package hom implements homomorphisms between conjunctive queries with
+// disequalities (Def. 2.10), isomorphism and automorphism counting, and the
+// homomorphism-based containment tests of Theorem 3.1 together with the
+// provenance-order sufficient condition of Theorem 3.3 (surjective
+// homomorphisms).
+package hom
+
+import (
+	"provmin/internal/query"
+)
+
+// Homomorphism is a mapping h : Q -> Q' from the atoms of Q to the atoms of
+// Q' inducing a mapping on arguments (Def. 2.10). AtomMap[i] is the index in
+// Q'.Atoms of the image of Q.Atoms[i]; VarMap is the induced argument
+// mapping restricted to variables (constants always map to themselves).
+type Homomorphism struct {
+	AtomMap []int
+	VarMap  query.Subst
+}
+
+// Find returns some homomorphism from `from` to `to`, if one exists.
+func Find(from, to *query.CQ) (*Homomorphism, bool) {
+	var found *Homomorphism
+	search(from, to, searchOpts{}, func(h *Homomorphism) bool {
+		found = h
+		return false
+	})
+	return found, found != nil
+}
+
+// Exists reports whether any homomorphism from `from` to `to` exists.
+func Exists(from, to *query.CQ) bool {
+	_, ok := Find(from, to)
+	return ok
+}
+
+// FindSurjective returns a homomorphism from `from` to `to` that is
+// surjective on relational atoms, if one exists (Thm. 3.3's hypothesis).
+func FindSurjective(from, to *query.CQ) (*Homomorphism, bool) {
+	var found *Homomorphism
+	search(from, to, searchOpts{surjective: true}, func(h *Homomorphism) bool {
+		found = h
+		return false
+	})
+	return found, found != nil
+}
+
+// ExistsSurjective reports whether a homomorphism from `from` to `to` exists
+// that is surjective on relational atoms.
+func ExistsSurjective(from, to *query.CQ) bool {
+	_, ok := FindSurjective(from, to)
+	return ok
+}
+
+// TerserBySurjectivity reports the Theorem 3.3 sufficient condition for
+// q ≤_P qp among equivalent queries: a homomorphism from qp to q surjective
+// on relational atoms.
+func TerserBySurjectivity(q, qp *query.CQ) bool {
+	return ExistsSurjective(qp, q)
+}
+
+type searchOpts struct {
+	surjective    bool // image must cover every atom of `to`
+	bijectiveAtom bool // atom map must be a bijection (isomorphism search)
+	injectiveVar  bool // variable map must be injective, variables to variables
+}
+
+// search enumerates homomorphisms from `from` to `to` under the given
+// constraints, calling yield for each; yield returns false to stop. search
+// reports whether enumeration ran to completion.
+func search(from, to *query.CQ, opts searchOpts, yield func(*Homomorphism) bool) bool {
+	if opts.bijectiveAtom && len(from.Atoms) != len(to.Atoms) {
+		return true
+	}
+	s := &homSearch{
+		from: from, to: to, opts: opts, yield: yield,
+		varMap:  query.Subst{},
+		inverse: map[query.Arg]string{},
+		atomMap: make([]int, len(from.Atoms)),
+		covered: make([]int, len(to.Atoms)),
+	}
+	// Condition 2 of Def. 2.10: the head of `from` maps to the head of `to`.
+	if len(from.Head.Args) != len(to.Head.Args) || from.Head.Rel != to.Head.Rel {
+		return true
+	}
+	for i, a := range from.Head.Args {
+		if !s.bindArg(a, to.Head.Args[i]) {
+			return true
+		}
+	}
+	return s.extend(0)
+}
+
+type homSearch struct {
+	from, to *query.CQ
+	opts     searchOpts
+	yield    func(*Homomorphism) bool
+	varMap   query.Subst
+	inverse  map[query.Arg]string // image -> preimage variable (injectivity)
+	atomMap  []int
+	covered  []int // usage count per `to` atom
+	bound    []string
+}
+
+// bindArg attempts to record that argument a of `from` maps to argument b of
+// `to`, extending varMap. It returns false on conflict. Newly bound
+// variables are pushed on s.bound for rollback.
+func (s *homSearch) bindArg(a, b query.Arg) bool {
+	if a.Const {
+		// Condition 4: constants map to occurrences of the same constant.
+		return b.Const && a.Name == b.Name
+	}
+	if img, ok := s.varMap[a.Name]; ok {
+		return img == b // condition 3: consistency
+	}
+	if s.opts.injectiveVar {
+		if b.Const {
+			return false
+		}
+		if _, taken := s.inverse[b]; taken {
+			return false
+		}
+		s.inverse[b] = a.Name
+	}
+	s.varMap[a.Name] = b
+	s.bound = append(s.bound, a.Name)
+	return true
+}
+
+func (s *homSearch) rollbackTo(mark int) {
+	for len(s.bound) > mark {
+		v := s.bound[len(s.bound)-1]
+		s.bound = s.bound[:len(s.bound)-1]
+		if s.opts.injectiveVar {
+			delete(s.inverse, s.varMap[v])
+		}
+		delete(s.varMap, v)
+	}
+}
+
+func (s *homSearch) extend(i int) bool {
+	if i == len(s.from.Atoms) {
+		if s.opts.surjective && !s.allCovered() {
+			return true
+		}
+		if !s.diseqsMapped() {
+			return true
+		}
+		return s.emit()
+	}
+	// Surjectivity pruning: the remaining atoms must be able to cover the
+	// still-uncovered atoms of `to`.
+	if s.opts.surjective {
+		uncovered := 0
+		for _, c := range s.covered {
+			if c == 0 {
+				uncovered++
+			}
+		}
+		if uncovered > len(s.from.Atoms)-i {
+			return true
+		}
+	}
+	at := s.from.Atoms[i]
+	for j, cand := range s.to.Atoms {
+		if cand.Rel != at.Rel || len(cand.Args) != len(at.Args) {
+			continue
+		}
+		if s.opts.bijectiveAtom && s.covered[j] > 0 {
+			continue
+		}
+		mark := len(s.bound)
+		ok := true
+		for k, a := range at.Args {
+			if !s.bindArg(a, cand.Args[k]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.atomMap[i] = j
+			s.covered[j]++
+			if !s.extend(i + 1) {
+				s.covered[j]--
+				s.rollbackTo(mark)
+				return false
+			}
+			s.covered[j]--
+		}
+		s.rollbackTo(mark)
+	}
+	return true
+}
+
+func (s *homSearch) allCovered() bool {
+	for _, c := range s.covered {
+		if c == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// diseqsMapped checks condition 1 of Def. 2.10 for disequality atoms: every
+// disequality of `from` must map to a disequality present in `to`. A
+// disequality whose sides map to two distinct constants is accepted as
+// vacuously mapped (distinct constants are unequal by definition); a
+// disequality collapsing to identical sides can never be mapped.
+func (s *homSearch) diseqsMapped() bool {
+	for _, d := range s.from.Diseqs {
+		l := s.varMap.Apply(d.Left)
+		r := s.varMap.Apply(d.Right)
+		if l == r {
+			return false
+		}
+		if l.Const && r.Const {
+			continue // distinct constants
+		}
+		if s.opts.injectiveVar {
+			// Isomorphism search: the image disequality must literally exist.
+			if !s.to.HasDiseq(l, r) {
+				return false
+			}
+			continue
+		}
+		if !s.to.HasDiseq(l, r) {
+			return false
+		}
+	}
+	if s.opts.injectiveVar {
+		// For isomorphisms the disequality sets must correspond exactly;
+		// with an injective variable map it suffices that counts agree.
+		if len(s.from.Diseqs) != len(s.to.Diseqs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *homSearch) emit() bool {
+	am := make([]int, len(s.atomMap))
+	copy(am, s.atomMap)
+	vm := query.Subst{}
+	for k, v := range s.varMap {
+		vm[k] = v
+	}
+	return s.yield(&Homomorphism{AtomMap: am, VarMap: vm})
+}

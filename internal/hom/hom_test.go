@@ -1,0 +1,154 @@
+package hom
+
+import (
+	"testing"
+
+	"provmin/internal/query"
+)
+
+func TestExample211HomomorphismDirections(t *testing.T) {
+	qconj := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	q2 := query.MustParse("ans(x) :- R(x,x)")
+	// There is a homomorphism from Qconj to Q2 mapping both atoms to the
+	// single atom of Q2 (x,y -> x)...
+	h, ok := Find(qconj, q2)
+	if !ok {
+		t.Fatal("expected homomorphism Qconj -> Q2")
+	}
+	if h.VarMap["x"] != query.V("x") || h.VarMap["y"] != query.V("x") {
+		t.Errorf("VarMap = %v", h.VarMap)
+	}
+	// ...but no homomorphism from Q2 to Qconj.
+	if Exists(q2, qconj) {
+		t.Error("no homomorphism Q2 -> Qconj should exist")
+	}
+}
+
+func TestExample32DiseqBlocksHomomorphism(t *testing.T) {
+	q := query.MustParse("ans() :- R(x,y), R(y,z), x != z")
+	qp := query.MustParse("ans() :- R(x,y), x != y")
+	// Q ⊆ Q' holds semantically, but there is no homomorphism Q' -> Q
+	// because the disequality x != y cannot map onto x != z.
+	if Exists(qp, q) {
+		t.Error("no homomorphism Q' -> Q should exist (Example 3.2)")
+	}
+	// Without the disequality there is a homomorphism.
+	qpNoDiseq := query.MustParse("ans() :- R(x,y)")
+	if !Exists(qpNoDiseq, q) {
+		t.Error("relational part should map")
+	}
+}
+
+func TestExample34Surjectivity(t *testing.T) {
+	q := query.MustParse("ans() :- R(x), R(y)")
+	qp := query.MustParse("ans() :- R(x)")
+	// Trivial homomorphism Q' -> Q exists but no surjective one.
+	if !Exists(qp, q) {
+		t.Error("homomorphism Q' -> Q should exist")
+	}
+	if ExistsSurjective(qp, q) {
+		t.Error("no surjective homomorphism Q' -> Q (|atoms| shrinks)")
+	}
+	// Mapping both atoms of Q onto the single atom of Q' is surjective.
+	if !ExistsSurjective(q, qp) {
+		t.Error("surjective homomorphism Q -> Q' should exist")
+	}
+	// Theorem 3.3 direction: provenance of Q' is terser.
+	if !TerserBySurjectivity(qp, q) {
+		t.Error("TerserBySurjectivity(Q', Q) should hold")
+	}
+}
+
+func TestHeadMustMap(t *testing.T) {
+	a := query.MustParse("ans(x) :- R(x,y)")
+	b := query.MustParse("ans(y) :- R(x,y)")
+	// Head of a maps x to head of b, i.e. to y; atom R(x,y) must then map
+	// with x->y, forcing R(y, ?) in b — only R(x,y) is available, so x->y
+	// requires the first argument of the image to be y. Not available.
+	if Exists(a, b) {
+		t.Error("head positions must be respected")
+	}
+	c := query.MustParse("ans(x) :- R(y,x)")
+	// a: ans(x):-R(x,y) vs c: ans(x):-R(y,x): map head x->x, then
+	// R(x,y) needs an atom R(x,?): c has R(y,x) only; no.
+	if Exists(a, c) {
+		t.Error("no homomorphism a -> c")
+	}
+}
+
+func TestConstantsMapToThemselves(t *testing.T) {
+	a := query.MustParse("ans() :- R('c',x)")
+	b := query.MustParse("ans() :- R('c','d')")
+	if !Exists(a, b) {
+		t.Error("R('c',x) should map onto R('c','d') with x -> 'd'")
+	}
+	c := query.MustParse("ans() :- R('e','d')")
+	if Exists(a, c) {
+		t.Error("constant 'c' cannot map to 'e'")
+	}
+}
+
+func TestDiseqToDistinctConstants(t *testing.T) {
+	a := query.MustParse("ans() :- R(x,y), x != y")
+	b := query.MustParse("ans() :- R('c','d')")
+	// x -> 'c', y -> 'd': the disequality maps to two distinct constants,
+	// which is vacuously satisfied.
+	if !Exists(a, b) {
+		t.Error("diseq over distinct constants should be accepted")
+	}
+	c := query.MustParse("ans() :- R('c','c')")
+	if Exists(a, c) {
+		t.Error("diseq collapsing to 'c' != 'c' must be rejected")
+	}
+}
+
+func TestDiseqCollapseRejected(t *testing.T) {
+	a := query.MustParse("ans() :- R(x,y), x != y")
+	b := query.MustParse("ans() :- R(z,z)")
+	// x, y both map to z: the disequality collapses; no homomorphism.
+	if Exists(a, b) {
+		t.Error("collapsed diseq must block the homomorphism")
+	}
+}
+
+func TestSurjectiveHomQnoPminFamily(t *testing.T) {
+	// The five-cycle queries of Figure 2 all map onto each other's
+	// relational structure, but the disequalities are incompatible, so no
+	// homomorphisms exist between distinct members in either direction.
+	qNoPmin := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+	qAlt := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+	if Exists(qNoPmin, qAlt) || Exists(qAlt, qNoPmin) {
+		t.Error("five-cycle queries with different diseqs admit no homomorphisms")
+	}
+}
+
+func TestFindReturnsValidMapping(t *testing.T) {
+	from := query.MustParse("ans(x) :- R(x,y), S(y)")
+	to := query.MustParse("ans(u) :- R(u,v), S(v), T(v)")
+	h, ok := Find(from, to)
+	if !ok {
+		t.Fatal("homomorphism should exist")
+	}
+	// Verify the atom mapping is consistent with the variable mapping.
+	for i, at := range from.Atoms {
+		img := to.Atoms[h.AtomMap[i]]
+		if img.Rel != at.Rel {
+			t.Errorf("atom %d maps across relations", i)
+		}
+		for k, a := range at.Args {
+			want := h.VarMap.Apply(a)
+			if img.Args[k] != want {
+				t.Errorf("atom %d arg %d: image %v, VarMap says %v", i, k, img.Args[k], want)
+			}
+		}
+	}
+}
+
+func TestSurjectiveNeedsFullCover(t *testing.T) {
+	from := query.MustParse("ans() :- R(x,y), R(y,z)")
+	to := query.MustParse("ans() :- R(u,u), S(u)")
+	// S(u) can never be covered by atoms of `from`.
+	if ExistsSurjective(from, to) {
+		t.Error("surjective homomorphism cannot cover S(u)")
+	}
+}

@@ -1,0 +1,124 @@
+package hom
+
+import (
+	"testing"
+
+	"provmin/internal/query"
+)
+
+func TestIsomorphicRenaming(t *testing.T) {
+	a := query.MustParse("ans(x) :- R(x,y), R(y,x), x != y")
+	b := query.MustParse("ans(u) :- R(u,v), R(v,u), u != v")
+	if !Isomorphic(a, b) {
+		t.Error("renamed queries must be isomorphic")
+	}
+}
+
+func TestIsomorphicRejectsCollapse(t *testing.T) {
+	a := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	b := query.MustParse("ans(x) :- R(x,x)")
+	// There is a homomorphism a -> b but no isomorphism.
+	if Isomorphic(a, b) || Isomorphic(b, a) {
+		t.Error("queries of different sizes are not isomorphic")
+	}
+}
+
+func TestIsomorphicDiseqSetsMustAgree(t *testing.T) {
+	a := query.MustParse("ans() :- R(x,y), x != y")
+	b := query.MustParse("ans() :- R(x,y)")
+	if Isomorphic(a, b) || Isomorphic(b, a) {
+		t.Error("different disequality sets are not isomorphic")
+	}
+}
+
+func TestLemma38NonIsomorphicMinimalPair(t *testing.T) {
+	// QnoPmin and Qalt (Figure 2) are equivalent, both standard-minimal,
+	// yet not isomorphic — the counterexample behind Lemma 3.8.
+	qNoPmin := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+	qAlt := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+	if Isomorphic(qNoPmin, qAlt) {
+		t.Error("QnoPmin and Qalt are not isomorphic (Lemma 3.8)")
+	}
+	if !Isomorphic(qNoPmin, qNoPmin.Clone()) {
+		t.Error("a query is isomorphic to its clone")
+	}
+}
+
+func TestIsomorphicRespectsConstants(t *testing.T) {
+	a := query.MustParse("ans(x) :- R(x,'a')")
+	b := query.MustParse("ans(x) :- R(x,'b')")
+	if Isomorphic(a, b) {
+		t.Error("constants must match exactly under isomorphism")
+	}
+	c := query.MustParse("ans(y) :- R(y,'a')")
+	if !Isomorphic(a, c) {
+		t.Error("variable renaming with fixed constants is an isomorphism")
+	}
+}
+
+func TestAutomorphismsTriangle(t *testing.T) {
+	// The directed triangle has exactly its 3 rotations as automorphisms.
+	tri := query.MustParse("ans() :- R(x,y), R(y,z), R(z,x)")
+	if got := CountAutomorphisms(tri); got != 3 {
+		t.Errorf("Aut(triangle) = %d, want 3", got)
+	}
+}
+
+func TestAutomorphismsCompleteTriangleAdjunct(t *testing.T) {
+	// Q̂5 from Figure 3: the complete triangle adjunct also has exactly 3
+	// automorphisms — this is the coefficient in Example 5.8.
+	q5 := query.MustParse("ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3")
+	if got := CountAutomorphisms(q5); got != 3 {
+		t.Errorf("Aut(Q̂5) = %d, want 3", got)
+	}
+}
+
+func TestAutomorphismsIdentityOnly(t *testing.T) {
+	q := query.MustParse("ans() :- R(v1,v1)")
+	if got := CountAutomorphisms(q); got != 1 {
+		t.Errorf("Aut = %d, want 1", got)
+	}
+	// Head variables are fixed pointwise up to position, so ans(x,y) with a
+	// symmetric body still has only the identity.
+	q2 := query.MustParse("ans(x,y) :- R(x,y), R(y,x)")
+	if got := CountAutomorphisms(q2); got != 1 {
+		t.Errorf("Aut = %d, want 1", got)
+	}
+}
+
+func TestAutomorphismsSymmetricPair(t *testing.T) {
+	// Boolean query with two independent unary atoms: swapping x and y is
+	// an automorphism.
+	q := query.MustParse("ans() :- R(x), R(y)")
+	if got := CountAutomorphisms(q); got != 2 {
+		t.Errorf("Aut = %d, want 2", got)
+	}
+	// The directed 2-cycle: swap is an automorphism.
+	q2 := query.MustParse("ans() :- R(x,y), R(y,x)")
+	if got := CountAutomorphisms(q2); got != 2 {
+		t.Errorf("Aut = %d, want 2", got)
+	}
+}
+
+func TestAutomorphismsFiveCycle(t *testing.T) {
+	// Directed 5-cycle without anchors: 5 rotations.
+	q := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1)")
+	if got := CountAutomorphisms(q); got != 5 {
+		t.Errorf("Aut(C5) = %d, want 5", got)
+	}
+	// Anchoring x1 with S(x1) kills all rotations.
+	qa := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1)")
+	if got := CountAutomorphisms(qa); got != 1 {
+		t.Errorf("Aut(anchored C5) = %d, want 1", got)
+	}
+}
+
+func TestAutomorphismsAreValidSubstitutions(t *testing.T) {
+	q := query.MustParse("ans() :- R(x,y), R(y,z), R(z,x)")
+	for _, s := range Automorphisms(q) {
+		img := q.ApplySubst(s)
+		if !img.Equal(q) {
+			t.Errorf("automorphism %v does not preserve the query: %v", s, img)
+		}
+	}
+}

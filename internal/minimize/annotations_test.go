@@ -1,0 +1,59 @@
+package minimize
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/order"
+	"provmin/internal/query"
+	"provmin/internal/workload"
+)
+
+// TestTheorem61PMinimalTransfersToGeneralAnnotations verifies Thm 6.1: a
+// query that is p-minimal w.r.t. abstractly tagged databases keeps minimal
+// provenance on databases with repeated annotations. We take p-minimal
+// outputs of MinProv, collapse tags in the instance, and check the order
+// still holds pointwise against the original queries.
+func TestTheorem61PMinimalTransfersToGeneralAnnotations(t *testing.T) {
+	cases := []*query.CQ{workload.QConj, workload.QHat}
+	for _, q := range cases {
+		u := query.Single(q)
+		pmin := MinProv(u)
+		// Abstract instance, then collapse half the tags onto shared names.
+		base := db.NewInstance()
+		db.NewGenerator(41).RandomGraph(base, "R", 4, 9)
+		collapsed := db.NewInstance()
+		for _, r := range base.Relations() {
+			nr := collapsed.MustRelation(r.Name, r.Arity)
+			for i, row := range r.Rows() {
+				tag := row.Tag
+				if i%2 == 0 {
+					tag = "shared"
+				}
+				nr.MustAdd(tag, row.Tuple...)
+			}
+		}
+		if collapsed.IsAbstractlyTagged() {
+			t.Fatal("test setup: instance should have repeated tags")
+		}
+		rMin, err := eval.EvalUCQ(pmin, collapsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rOrig, err := eval.EvalUCQ(u, collapsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rMin.SameTuples(rOrig) {
+			t.Fatalf("equivalence must hold on general annotations for %v", q)
+		}
+		for _, ot := range rMin.Tuples() {
+			po, _ := rOrig.Lookup(ot.Tuple)
+			if !order.PolyLE(ot.Prov, po) {
+				t.Errorf("query %v tuple %v: p-minimal provenance %v not ≤ %v on collapsed tags",
+					q, ot.Tuple, ot.Prov, po)
+			}
+		}
+	}
+}

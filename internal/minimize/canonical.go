@@ -1,0 +1,113 @@
+// Package minimize implements the paper's minimization machinery: possible
+// completions and canonical rewritings (Def. 4.1), standard query
+// minimization for CQ (Chandra–Merlin), cCQ≠ (duplicate-atom removal,
+// Lemma 3.13) and CQ≠/UCQ≠, decision procedures for containment and
+// equivalence of UCQ≠ queries (Theorem 3.1 + Lemma 4.9), and the MinProv
+// algorithm (Algorithm 1) computing a provenance-minimal equivalent query.
+package minimize
+
+import (
+	"fmt"
+
+	"provmin/internal/partition"
+	"provmin/internal/query"
+)
+
+// PossibleCompletions enumerates the possible completions of q with respect
+// to the constant set consts ⊇ Const(q) (Def. 4.1): for every admissible
+// partition of Var(q) ∪ consts (at most one constant per block, disequality
+// endpoints separated), the query obtained by collapsing each block to its
+// constant or to a fresh variable, made complete with respect to consts.
+// The completions are returned without isomorphism deduplication.
+func PossibleCompletions(q *query.CQ, consts []string) []*query.CQ {
+	allConsts := unionConsts(q.Consts(), consts)
+	var separated [][2]string
+	for _, d := range q.Diseqs {
+		separated = append(separated, [2]string{d.Left.Name, d.Right.Name})
+	}
+	var out []*query.CQ
+	partition.Enumerate(q.Vars(), allConsts, separated, func(blocks []partition.Block) bool {
+		out = append(out, completionFromBlocks(q, blocks, allConsts))
+		return true
+	})
+	return out
+}
+
+// completionFromBlocks builds the completion query for one partition.
+func completionFromBlocks(q *query.CQ, blocks []partition.Block, allConsts []string) *query.CQ {
+	subst := query.Subst{}
+	var newVars []string
+	next := 0
+	for _, b := range blocks {
+		if b.Const != "" {
+			for _, v := range b.Vars {
+				subst[v] = query.C(b.Const)
+			}
+			continue
+		}
+		if len(b.Vars) == 0 {
+			continue
+		}
+		next++
+		nv := fmt.Sprintf("v%d", next)
+		newVars = append(newVars, nv)
+		for _, v := range b.Vars {
+			subst[v] = query.V(nv)
+		}
+	}
+	out := q.ApplySubst(subst)
+	// Def. 4.1: drop the original disequalities (now between distinct blocks,
+	// hence subsumed) and add the complete set over new variables and
+	// constants.
+	var ds []query.Diseq
+	for i := 0; i < len(newVars); i++ {
+		for j := i + 1; j < len(newVars); j++ {
+			ds = append(ds, query.NewDiseq(query.V(newVars[i]), query.V(newVars[j])))
+		}
+		for _, c := range allConsts {
+			ds = append(ds, query.NewDiseq(query.V(newVars[i]), query.C(c)))
+		}
+	}
+	return query.NewCQ(out.Head, out.Atoms, ds)
+}
+
+// Can computes the canonical rewriting Can(q, consts) (Def. 4.1): the union
+// of the possible completions, one adjunct per admissible partition. Note
+// that completions arising from different partitions may be isomorphic as
+// queries (e.g. Q̂2 and Q̂4 in Figure 3) and are deliberately kept separate:
+// Theorem 4.4 (Q ≡_P Can(Q)) requires one adjunct per equality pattern so
+// that the assignments of Q and of Can(Q) are in provenance-preserving
+// bijection. Step III of MinProv later collapses mutually contained
+// adjuncts. With consts equal to Const(q) this is the paper's Can(Q).
+func Can(q *query.CQ, consts []string) *query.UCQ {
+	return &query.UCQ{Adjuncts: PossibleCompletions(q, consts)}
+}
+
+// CanUCQ applies the canonical rewriting adjunct-wise to a union, with
+// respect to the union's full constant set extended by consts — this is
+// Step I of MinProv when consts is empty. Adjuncts originating from
+// different input adjuncts are NOT identified: Theorem 4.4 requires the
+// rewriting to preserve provenance, and a union with two equivalent
+// adjuncts legitimately produces doubled provenance.
+func CanUCQ(u *query.UCQ, consts []string) *query.UCQ {
+	all := unionConsts(u.Consts(), consts)
+	var adjuncts []*query.CQ
+	for _, q := range u.Adjuncts {
+		adjuncts = append(adjuncts, Can(q, all).Adjuncts...)
+	}
+	return &query.UCQ{Adjuncts: adjuncts}
+}
+
+func unionConsts(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, xs := range [][]string{a, b} {
+		for _, c := range xs {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package minimize
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/hom"
+	"provmin/internal/query"
+)
+
+func TestExample42CanonicalRewriting(t *testing.T) {
+	q := query.MustParse("ans(x,y) :- R(x,y), x != 'a', x != y")
+	can := Can(q, []string{"a", "b"})
+	if len(can.Adjuncts) != 5 {
+		t.Fatalf("Can(Q,{a,b}) has %d adjuncts, want 5:\n%v", len(can.Adjuncts), can)
+	}
+	want := []*query.CQ{
+		query.MustParse("ans(v1,'a') :- R(v1,'a'), v1 != 'a', v1 != 'b'"),
+		query.MustParse("ans(v1,'b') :- R(v1,'b'), v1 != 'a', v1 != 'b'"),
+		query.MustParse("ans(v1,v2) :- R(v1,v2), v1 != 'a', v1 != v2, v2 != 'a', v1 != 'b', v2 != 'b'"),
+		query.MustParse("ans('b','a') :- R('b','a')"),
+		query.MustParse("ans('b',v2) :- R('b',v2), v2 != 'a', v2 != 'b'"),
+	}
+	for _, w := range want {
+		found := 0
+		for _, a := range can.Adjuncts {
+			if hom.Isomorphic(w, a) {
+				found++
+			}
+		}
+		if found != 1 {
+			t.Errorf("expected completion %v to match exactly one adjunct, matched %d", w, found)
+		}
+	}
+}
+
+func TestFig3CanonicalRewriting(t *testing.T) {
+	qhat := query.MustParse("ans() :- R(x,y), R(y,z), R(z,x)")
+	can := Can(qhat, nil)
+	if len(can.Adjuncts) != 5 {
+		t.Fatalf("Can(Q̂) has %d adjuncts, want 5 (Q̂1..Q̂5):\n%v", len(can.Adjuncts), can)
+	}
+	want := []*query.CQ{
+		query.MustParse("ans() :- R(v1,v1), R(v1,v1), R(v1,v1)"),
+		query.MustParse("ans() :- R(v1,v2), R(v2,v1), R(v1,v1), v1 != v2"),
+		query.MustParse("ans() :- R(v1,v2), R(v2,v2), R(v2,v1), v1 != v2"),
+		query.MustParse("ans() :- R(v1,v1), R(v1,v2), R(v2,v1), v1 != v2"),
+		query.MustParse("ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3"),
+	}
+	for _, w := range want {
+		found := false
+		for _, a := range can.Adjuncts {
+			if hom.Isomorphic(w, a) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("completion %v missing from Can(Q̂)", w)
+		}
+	}
+}
+
+func TestTheorem43CanPreservesResults(t *testing.T) {
+	queries := []string{
+		"ans(x) :- R(x,y), R(y,x)",
+		"ans() :- R(x,y), R(y,z), R(z,x)",
+		"ans(x,y) :- R(x,y), x != 'a', x != y",
+		"ans(x) :- R(x,y), S(y,'c')",
+	}
+	for _, s := range queries {
+		q := query.MustParse(s)
+		can := Can(q, q.Consts())
+		if !Equivalent(query.Single(q), can) {
+			t.Errorf("Q ≢ Can(Q) for %v", q)
+		}
+	}
+}
+
+func TestTheorem43ExtendedConstants(t *testing.T) {
+	q := query.MustParse("ans(x,y) :- R(x,y), x != 'a', x != y")
+	can := Can(q, []string{"a", "b"})
+	if !Equivalent(query.Single(q), can) {
+		t.Error("Q ≢ Can(Q, {a,b})")
+	}
+}
+
+func TestTheorem44CanPreservesProvenance(t *testing.T) {
+	// Q ≡_P Can(Q, C): evaluate both over several instances and require
+	// identical annotated results.
+	cases := []struct {
+		q      string
+		consts []string
+	}{
+		{"ans(x) :- R(x,y), R(y,x)", nil},
+		{"ans() :- R(x,y), R(y,z), R(z,x)", nil},
+		{"ans(x,y) :- R(x,y), x != 'a', x != y", []string{"a", "b"}},
+	}
+	dbs := []*db.Instance{}
+	d1 := db.NewInstance()
+	d1.MustAdd("R", "s1", "a", "a")
+	d1.MustAdd("R", "s2", "a", "b")
+	d1.MustAdd("R", "s3", "b", "a")
+	d1.MustAdd("R", "s4", "b", "b")
+	dbs = append(dbs, d1)
+	d2 := db.NewInstance()
+	g := db.NewGenerator(5)
+	g.RandomGraph(d2, "R", 4, 9)
+	dbs = append(dbs, d2)
+
+	for _, c := range cases {
+		q := query.MustParse(c.q)
+		can := Can(q, c.consts)
+		for di, d := range dbs {
+			rq, err := eval.EvalCQ(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := eval.EvalUCQ(can, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rq.SameAnnotated(rc) {
+				t.Errorf("provenance differs for %v on db %d:\n%s\nvs\n%s", q, di, rq, rc)
+			}
+		}
+	}
+}
+
+func TestCompletionsAreComplete(t *testing.T) {
+	q := query.MustParse("ans(x,y) :- R(x,y), S(y,'c'), x != y")
+	for _, c := range PossibleCompletions(q, []string{"c", "d"}) {
+		if !c.IsCompleteWRT([]string{"c", "d"}) {
+			t.Errorf("completion not complete w.r.t. constants: %v", c)
+		}
+		if c.HasContradiction() {
+			t.Errorf("contradictory completion generated: %v", c)
+		}
+	}
+}
+
+func TestCompletionsRespectDiseqs(t *testing.T) {
+	// The disequality x != y must prevent any completion merging x and y:
+	// every completion keeps two distinct arguments in R's positions unless
+	// one is a constant — but never the same variable twice.
+	q := query.MustParse("ans() :- R(x,y), x != y")
+	for _, c := range PossibleCompletions(q, nil) {
+		at := c.Atoms[0]
+		if at.Args[0] == at.Args[1] {
+			t.Errorf("completion merged separated variables: %v", c)
+		}
+	}
+}
+
+func TestCanKeepsOneAdjunctPerPartition(t *testing.T) {
+	// ans() :- R(x), R(y), R(z): the partitions {xy}{z}, {xz}{y}, {yz}{x}
+	// give isomorphic completions, yet Can must keep all Bell(3)=5 — one
+	// adjunct per equality pattern — or Theorem 4.4's provenance bijection
+	// breaks (compare Q̂2/Q̂3/Q̂4 in Figure 3).
+	q := query.MustParse("ans() :- R(x), R(y), R(z)")
+	can := Can(q, nil)
+	if len(can.Adjuncts) != 5 {
+		t.Errorf("Can has %d adjuncts, want Bell(3)=5:\n%v", len(can.Adjuncts), can)
+	}
+}
+
+func TestCanUCQKeepsDuplicateAdjuncts(t *testing.T) {
+	// Two identical adjuncts must stay separate (provenance doubling).
+	u := query.MustParseUnion("ans(x) :- R(x,x)\nans(x) :- R(x,x)")
+	can := CanUCQ(u, nil)
+	if len(can.Adjuncts) != 2 {
+		t.Errorf("CanUCQ must not merge across input adjuncts: %v", can)
+	}
+}
+
+func TestCanRespectsHeadConstants(t *testing.T) {
+	// Head variables replaced by constants must appear in the head, as in
+	// Example 4.2's Q1: ans(v1,'a').
+	q := query.MustParse("ans(x,y) :- R(x,y), x != y")
+	can := Can(q, []string{"a"})
+	foundHeadConst := false
+	for _, a := range can.Adjuncts {
+		for _, arg := range a.Head.Args {
+			if arg == query.C("a") {
+				foundHeadConst = true
+			}
+		}
+	}
+	if !foundHeadConst {
+		t.Error("some completion should map a head variable to the constant")
+	}
+}

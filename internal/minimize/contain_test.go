@@ -1,0 +1,147 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/query"
+)
+
+func TestExample32ContainmentWithoutHomomorphism(t *testing.T) {
+	// Q ⊆ Q' holds although no homomorphism Q' -> Q exists.
+	q := query.MustParse("ans() :- R(x,y), R(y,z), x != z")
+	qp := query.MustParse("ans() :- R(x,y), x != y")
+	if !ContainedCQ(q, qp) {
+		t.Error("Q ⊆ Q' (Example 3.2) should hold")
+	}
+	if ContainedCQ(qp, q) {
+		t.Error("Q' ⊄ Q")
+	}
+}
+
+func TestExample29ContainmentViaGeneralProcedure(t *testing.T) {
+	q2 := query.MustParse("ans(x) :- R(x,x)")
+	qconj := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	if !ContainedCQ(q2, qconj) {
+		t.Error("Q2 ⊆ Qconj")
+	}
+	if ContainedCQ(qconj, q2) {
+		t.Error("Qconj ⊄ Q2")
+	}
+}
+
+func TestFig1Equivalence(t *testing.T) {
+	qunion := query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	qconj := query.MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	if !Equivalent(qunion, qconj) {
+		t.Error("Qunion ≡ Qconj (Example 2.18)")
+	}
+}
+
+func TestFig2Equivalence(t *testing.T) {
+	qNoPmin := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+	qAlt := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+	qAlt2 := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x4")
+	qAlt3 := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x5")
+	for _, other := range []*query.CQ{qAlt, qAlt2, qAlt3} {
+		if !EquivalentCQ(qNoPmin, other) {
+			t.Errorf("QnoPmin ≡ %v should hold (proof of Lemma 3.7)", other)
+		}
+	}
+}
+
+func TestConstantsBreakEquivalence(t *testing.T) {
+	a := query.MustParse("ans(x) :- R(x,'a')")
+	b := query.MustParse("ans(x) :- R(x,'b')")
+	if Equivalent(query.Single(a), query.Single(b)) {
+		t.Error("different constants are not equivalent")
+	}
+	if !EquivalentCQ(a, a.Clone()) {
+		t.Error("self equivalence")
+	}
+}
+
+func TestDiseqConstantInteraction(t *testing.T) {
+	// ans(x) :- R(x), x != 'a'  vs  ans(x) :- R(x): strict containment.
+	a := query.MustParse("ans(x) :- R(x), x != 'a'")
+	b := query.MustParse("ans(x) :- R(x)")
+	if !ContainedCQ(a, b) {
+		t.Error("restricted query is contained in relaxation")
+	}
+	if ContainedCQ(b, a) {
+		t.Error("relaxation is not contained in restriction")
+	}
+}
+
+func TestUnionContainment(t *testing.T) {
+	u1 := query.MustParseUnion("ans(x) :- R(x,x)")
+	u2 := query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	if !Contained(u1, u2) {
+		t.Error("R(x,x) adjunct is contained in the union")
+	}
+	if Contained(u2, u1) {
+		t.Error("the union is not contained in R(x,x)")
+	}
+}
+
+// TestContainmentAgreesWithEvaluation cross-validates the decision procedure
+// against brute-force evaluation over random small instances: if Q1 ⊆ Q2 is
+// claimed, no instance may witness a violating tuple; if containment is
+// denied, *some* random instance usually witnesses it (not guaranteed, so
+// only the sound direction is asserted).
+func TestContainmentAgreesWithEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vars := []string{"x", "y", "z"}
+	genCQ := func() *query.CQ {
+		n := 1 + rng.Intn(2)
+		atoms := make([]query.Atom, n)
+		for i := range atoms {
+			atoms[i] = query.NewAtom("R",
+				query.V(vars[rng.Intn(len(vars))]), query.V(vars[rng.Intn(len(vars))]))
+		}
+		var ds []query.Diseq
+		if rng.Intn(2) == 0 {
+			a, b := vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))]
+			if a != b && usedIn(atoms, a) && usedIn(atoms, b) {
+				ds = append(ds, query.NewDiseq(query.V(a), query.V(b)))
+			}
+		}
+		head := query.NewAtom("ans", atoms[0].Args[0])
+		return query.NewCQ(head, atoms, ds)
+	}
+	for i := 0; i < 120; i++ {
+		q1, q2 := genCQ(), genCQ()
+		claim := ContainedCQ(q1, q2)
+		for seed := int64(0); seed < 3; seed++ {
+			d := db.NewInstance()
+			db.NewGenerator(seed*31+int64(i)).RandomGraph(d, "R", 3, 5)
+			r1, err := eval.EvalCQ(q1, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := eval.EvalCQ(q2, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ot := range r1.Tuples() {
+				if claim && !r2.Contains(ot.Tuple) {
+					t.Fatalf("claimed %v ⊆ %v but tuple %v is a counterexample on\n%s",
+						q1, q2, ot.Tuple, d)
+				}
+			}
+		}
+	}
+}
+
+func usedIn(atoms []query.Atom, v string) bool {
+	for _, at := range atoms {
+		for _, a := range at.Args {
+			if a == query.V(v) {
+				return true
+			}
+		}
+	}
+	return false
+}

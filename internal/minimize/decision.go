@@ -1,0 +1,74 @@
+package minimize
+
+import (
+	"fmt"
+
+	"provmin/internal/hom"
+	"provmin/internal/query"
+)
+
+// IsSubQuery reports whether sub is a sub-query of q: same head and its
+// relational atoms form a sub-multiset of q's (the shape of the
+// DP-complete decision problem of Corollary 3.10, following Fagin–Kolaitis–
+// Popa's formulation for standard minimization).
+func IsSubQuery(sub, q *query.CQ) bool {
+	if !sub.Head.Equal(q.Head) {
+		return false
+	}
+	remaining := make([]query.Atom, len(q.Atoms))
+	copy(remaining, q.Atoms)
+	for _, a := range sub.Atoms {
+		found := -1
+		for i, b := range remaining {
+			if a.Equal(b) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		remaining = append(remaining[:found], remaining[found+1:]...)
+	}
+	// Disequalities of the sub-query must come from q as well.
+	for _, d := range sub.Diseqs {
+		if !q.HasDiseq(d.Left, d.Right) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPMinimalEquivalentCQ decides the PROVENANCE-MINIMIZATION decision
+// problem for CQ (Cor. 3.10): given a disequality-free query q and a
+// sub-query sub of q, is sub the p-minimal equivalent of q within CQ? By
+// Theorem 3.9 this holds iff sub ≡ q and sub is standard-minimal. The
+// problem is DP-complete; this procedure is the natural NP∧coNP check.
+func IsPMinimalEquivalentCQ(q, sub *query.CQ) (bool, error) {
+	if q.HasDiseqs() || sub.HasDiseqs() {
+		return false, fmt.Errorf("the CQ decision problem requires disequality-free queries")
+	}
+	if !IsSubQuery(sub, q) {
+		return false, fmt.Errorf("second query is not a sub-query of the first")
+	}
+	// NP part: sub ≡ q. Since sub ⊆ ... removal of atoms relaxes, q ⊆ sub
+	// always; equivalence needs sub ⊆ q, i.e. a homomorphism q -> sub.
+	if !hom.Exists(q, sub) {
+		return false, nil
+	}
+	// coNP part: no proper sub-query of sub is equivalent to it.
+	minimal, err := IsStandardMinimalCQ(sub)
+	if err != nil {
+		return false, err
+	}
+	return minimal, nil
+}
+
+// IsPMinimalCCQ decides p-minimality for a complete query (PTIME, by
+// Lemma 3.13: minimal iff no duplicated relational atoms).
+func IsPMinimalCCQ(q *query.CQ) (bool, error) {
+	if !q.IsComplete() {
+		return false, fmt.Errorf("IsPMinimalCCQ requires a complete query")
+	}
+	return !q.HasDuplicateAtoms(), nil
+}

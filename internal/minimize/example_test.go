@@ -1,0 +1,55 @@
+package minimize_test
+
+import (
+	"fmt"
+
+	"provmin/internal/minimize"
+	"provmin/internal/query"
+)
+
+func ExampleMinProv() {
+	// The paper's Figure 1: MinProv(Qconj) is Qunion up to renaming.
+	q := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	fmt.Println(minimize.MinProvCQ(q))
+	// Output:
+	// ans(v1) :- R(v1,v1)
+	// ans(v1) :- R(v1,v2), R(v2,v1), v1 != v2
+}
+
+func ExampleMinProvSteps() {
+	// Example 4.7, step by step on Q̂.
+	st := minimize.MinProvSteps(query.MustParseUnion("ans() :- R(x,y), R(y,z), R(z,x)"))
+	fmt.Println("step I adjuncts:", len(st.QI.Adjuncts))
+	fmt.Println("step III:")
+	fmt.Println(st.QIII)
+	// Output:
+	// step I adjuncts: 5
+	// step III:
+	// ans() :- R(v1,v1)
+	// ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v1 != v3, v2 != v3
+}
+
+func ExampleCan() {
+	// Example 4.2's extended canonical rewriting.
+	q := query.MustParse("ans(x,y) :- R(x,y), x != 'a', x != y")
+	can := minimize.Can(q, []string{"a", "b"})
+	fmt.Println(len(can.Adjuncts), "adjuncts")
+	// Output:
+	// 5 adjuncts
+}
+
+func ExampleEquivalent() {
+	a := query.MustParseUnion("ans() :- R(x,y), R(y,z), x != z")
+	b := query.MustParseUnion("ans() :- R(x,y), R(y,z), x != z")
+	fmt.Println(minimize.Equivalent(a, b))
+	// Output:
+	// true
+}
+
+func ExampleStandardMinimizeCQ() {
+	q := query.MustParse("ans(x) :- R(x,y), R(x,z)")
+	m, _ := minimize.StandardMinimizeCQ(q)
+	fmt.Println(m)
+	// Output:
+	// ans(x) :- R(x,z)
+}

@@ -1,0 +1,281 @@
+package minimize
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/hom"
+	"provmin/internal/order"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+var (
+	qHat   = query.MustParse("ans() :- R(x,y), R(y,z), R(z,x)")
+	qConj  = query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	qUnion = query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	qMin1  = query.MustParse("ans() :- R(v1,v1)")
+	qHat5  = query.MustParse("ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3")
+)
+
+func table2() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "b")
+	return d
+}
+
+func tableD6() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "c")
+	d.MustAdd("R", "s5", "c", "a")
+	return d
+}
+
+func TestExample47MinProvStepByStep(t *testing.T) {
+	st := MinProvSteps(query.Single(qHat))
+	if len(st.QI.Adjuncts) != 5 {
+		t.Fatalf("Q̂I has %d adjuncts, want 5", len(st.QI.Adjuncts))
+	}
+	if len(st.QII.Adjuncts) != 5 {
+		t.Fatalf("Q̂II has %d adjuncts, want 5", len(st.QII.Adjuncts))
+	}
+	// Step II replaces Q̂1 by Q̂min1 (single atom); exactly one adjunct of
+	// QII must be isomorphic to Q̂min1.
+	found := 0
+	for _, a := range st.QII.Adjuncts {
+		if hom.Isomorphic(a, qMin1) {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Errorf("Q̂II should contain Q̂min1 exactly once, found %d", found)
+	}
+	// Step III: output is Q̂min1 ∪ Q̂5.
+	if len(st.QIII.Adjuncts) != 2 {
+		t.Fatalf("Q̂III has %d adjuncts, want 2:\n%v", len(st.QIII.Adjuncts), st.QIII)
+	}
+	for _, w := range []*query.CQ{qMin1, qHat5} {
+		ok := false
+		for _, a := range st.QIII.Adjuncts {
+			if hom.Isomorphic(a, w) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("Q̂III missing adjunct isomorphic to %v", w)
+		}
+	}
+}
+
+func TestExample52And54And58Provenance(t *testing.T) {
+	// The three provenance polynomials of Section 5's running example.
+	d := tableD6()
+	st := MinProvSteps(query.Single(qHat))
+	pI, err := eval.Provenance(st.QI, d, db.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 5.2: s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5 (same as Q̂ itself).
+	if want := semiring.MustParsePolynomial("s1^3 + 3*s1*s2*s3 + 3*s2*s4*s5"); !pI.Equal(want) {
+		t.Errorf("pI = %v, want %v", pI, want)
+	}
+	pII, err := eval.Provenance(st.QII, d, db.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 5.4: s1 + 3*s1*s2*s3 + 3*s2*s4*s5.
+	if want := semiring.MustParsePolynomial("s1 + 3*s1*s2*s3 + 3*s2*s4*s5"); !pII.Equal(want) {
+		t.Errorf("pII = %v, want %v", pII, want)
+	}
+	pIII, err := eval.Provenance(st.QIII, d, db.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 5.8: s1 + 3*s2*s4*s5 (coefficient 3 = automorphisms of Q̂5).
+	if want := semiring.MustParsePolynomial("s1 + 3*s2*s4*s5"); !pIII.Equal(want) {
+		t.Errorf("pIII = %v, want %v", pIII, want)
+	}
+}
+
+func TestTheorem311MinProvOfQconjMatchesQunion(t *testing.T) {
+	out := MinProvCQ(qConj)
+	if !Equivalent(out, query.Single(qConj)) {
+		t.Fatal("MinProv output must be equivalent to the input")
+	}
+	if !Equivalent(out, qUnion) {
+		t.Fatal("MinProv(Qconj) must be equivalent to Qunion")
+	}
+	// On Table 2 the output realizes exactly Qunion's provenance.
+	rOut, err := eval.EvalUCQ(out, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rUnion, err := eval.EvalUCQ(qUnion, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rOut.SameAnnotated(rUnion) {
+		t.Errorf("MinProv(Qconj) provenance:\n%s\nwant Qunion's:\n%s", rOut, rUnion)
+	}
+	// And it is strictly terser than Qconj's own provenance.
+	rel, err := order.CompareOnDB(out, query.Single(qConj), table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != order.Less {
+		t.Errorf("MinProv(Qconj) vs Qconj on Table 2 = %v, want <", rel)
+	}
+}
+
+func TestMinProvEquivalentOnSuite(t *testing.T) {
+	suite := []string{
+		"ans(x) :- R(x,y), R(y,x)",
+		"ans() :- R(x,y), R(y,z), R(z,x)",
+		"ans(x,y) :- R(x,y), x != 'a', x != y",
+		"ans(x) :- R(x,y), S(y,'c')",
+		"ans() :- R(x,y), R(y,z), x != z",
+		"ans(x) :- R(x,x)",
+	}
+	for _, s := range suite {
+		q := query.MustParse(s)
+		out := MinProvCQ(q)
+		if !Equivalent(out, query.Single(q)) {
+			t.Errorf("MinProv changed semantics of %v:\n%v", q, out)
+		}
+	}
+}
+
+func TestMinProvProvenanceNeverLarger(t *testing.T) {
+	// On random instances, the output's provenance must be pointwise ≤ the
+	// input's (it is the core provenance).
+	suite := []string{
+		"ans(x) :- R(x,y), R(y,x)",
+		"ans() :- R(x,y), R(y,z), R(z,x)",
+		"ans() :- R(x,y), R(y,z), x != z",
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		d := db.NewInstance()
+		db.NewGenerator(seed).RandomGraph(d, "R", 4, 8)
+		for _, s := range suite {
+			q := query.MustParse(s)
+			out := MinProvCQ(q)
+			rel, err := order.CompareOnDB(out, query.Single(q), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel != order.Less && rel != order.Equal {
+				t.Errorf("seed %d: MinProv(%v) vs input = %v, want ≤", seed, q, rel)
+			}
+		}
+	}
+}
+
+func TestMinProvIdempotentProvenance(t *testing.T) {
+	// Running MinProv twice must not change the realized provenance.
+	q := query.Single(qHat)
+	once := MinProv(q)
+	twice := MinProv(once)
+	d := tableD6()
+	r1, err := eval.EvalUCQ(once, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eval.EvalUCQ(twice, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.SameAnnotated(r2) {
+		t.Errorf("MinProv not provenance-idempotent:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+func TestMinProvOnQnoPminBeatsBothAlternatives(t *testing.T) {
+	// Theorem 3.5: no p-minimal query exists in CQ≠ for QnoPmin, but
+	// MinProv finds one in UCQ≠ that is ≤ both QnoPmin and Qalt on the
+	// paper's witness databases D and D'.
+	qNoPmin := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+	qAlt := query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+	if !EquivalentCQ(qNoPmin, qAlt) {
+		t.Fatal("QnoPmin ≡ Qalt (paper claim)")
+	}
+	out := MinProvCQ(qNoPmin)
+	if !Equivalent(out, query.Single(qNoPmin)) {
+		t.Fatal("MinProv output must stay equivalent")
+	}
+	dD := db.NewInstance()
+	dD.MustAdd("R", "s1", "a", "b")
+	dD.MustAdd("R", "s2", "b", "a")
+	dD.MustAdd("R", "s3", "a", "a")
+	dD.MustAdd("S", "s0", "a")
+	dDp := db.NewInstance()
+	dDp.MustAdd("R", "t1", "a", "b")
+	dDp.MustAdd("R", "t2", "b", "c")
+	dDp.MustAdd("R", "t3", "c", "a")
+	dDp.MustAdd("R", "t4", "a", "a")
+	dDp.MustAdd("S", "s0", "a")
+	for _, cand := range []*query.UCQ{query.Single(qNoPmin), query.Single(qAlt)} {
+		for _, d := range []*db.Instance{dD, dDp} {
+			rel, err := order.CompareOnDB(out, cand, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel != order.Less && rel != order.Equal {
+				t.Errorf("MinProv output vs candidate = %v, want ≤", rel)
+			}
+		}
+	}
+}
+
+func TestMinProvQnFamilyGrowth(t *testing.T) {
+	// Theorem 4.10's family: Qn = R1(x1,y1),R1(y1,x1),...,Rn(xn,yn),Rn(yn,xn).
+	// The p-minimal equivalent must have at least 2^n adjuncts.
+	for n := 1; n <= 2; n++ {
+		q := qnQuery(n)
+		out := MinProvCQ(q)
+		min := 1 << n
+		if len(out.Adjuncts) < min {
+			t.Errorf("MinProv(Q_%d) has %d adjuncts, want >= %d", n, len(out.Adjuncts), min)
+		}
+		if !Equivalent(out, query.Single(q)) {
+			t.Errorf("MinProv(Q_%d) not equivalent", n)
+		}
+	}
+}
+
+// qnQuery builds the Theorem 4.10 query Q_n.
+func qnQuery(n int) *query.CQ {
+	var atoms []query.Atom
+	for i := 1; i <= n; i++ {
+		rel := "R" + string(rune('0'+i))
+		x := query.V("x" + string(rune('0'+i)))
+		y := query.V("y" + string(rune('0'+i)))
+		atoms = append(atoms, query.NewAtom(rel, x, y), query.NewAtom(rel, y, x))
+	}
+	return query.NewCQ(query.NewAtom("ans"), atoms, nil)
+}
+
+func TestMinProvSingleCompleteQueryUnchanged(t *testing.T) {
+	// A complete, duplicate-free single adjunct: MinProv output is
+	// equivalent with the same realized provenance (Theorem 3.12).
+	q := query.MustParse("ans(x) :- R(x,y), x != y")
+	out := MinProvCQ(q)
+	d := table2()
+	rIn, err := eval.EvalCQ(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOut, err := eval.EvalUCQ(out, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rIn.SameAnnotated(rOut) {
+		t.Errorf("complete query provenance changed:\n%s\nvs\n%s", rIn, rOut)
+	}
+}

@@ -1,0 +1,194 @@
+package minimize
+
+import (
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/hom"
+	"provmin/internal/order"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+	"provmin/internal/workload"
+)
+
+// TestMinProvRandomizedInvariants drives MinProv over random CQ≠ queries
+// and checks the paper's guarantees hold on random instances:
+//  1. equivalence to the input (Def. 2.19 requires it);
+//  2. output provenance ≤ input provenance pointwise (core provenance);
+//  3. the output is a union of complete adjuncts without duplicate atoms
+//     (structure of Algorithm 1's output);
+//  4. no output adjunct is contained in another (Step III ran to fixpoint).
+func TestMinProvRandomizedInvariants(t *testing.T) {
+	params := workload.QueryParams{
+		NumAtoms: 2, NumVars: 3, NumRels: 2, Arity: 2, HeadArity: 1,
+		DiseqProb: 0.3, SelfJoinOK: true,
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		q := workload.RandomCQ(seed, params)
+		u := query.Single(q)
+		out := MinProv(u)
+
+		if !Equivalent(out, u) {
+			t.Fatalf("seed %d: MinProv changed semantics of %v", seed, q)
+		}
+		consts := out.Consts()
+		for _, a := range out.Adjuncts {
+			if !a.IsCompleteWRT(consts) {
+				t.Fatalf("seed %d: output adjunct not complete: %v", seed, a)
+			}
+			if a.HasDuplicateAtoms() {
+				t.Fatalf("seed %d: output adjunct has duplicate atoms: %v", seed, a)
+			}
+		}
+		for i, a := range out.Adjuncts {
+			for j, b := range out.Adjuncts {
+				if i != j && hom.Exists(b, a) {
+					t.Fatalf("seed %d: adjunct %v contained in %v survived Step III", seed, a, b)
+				}
+			}
+		}
+		for dbSeed := int64(0); dbSeed < 2; dbSeed++ {
+			d := db.NewInstance()
+			g := db.NewGenerator(dbSeed*13 + seed)
+			g.RandomRelation(d, "R1", 2, 6, 3)
+			g.RandomRelation(d, "R2", 2, 6, 3)
+			rel, err := order.CompareOnDB(out, u, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel != order.Less && rel != order.Equal {
+				t.Fatalf("seed %d db %d: output provenance %v input (want ≤)\nquery: %v\noutput: %v",
+					seed, dbSeed, rel, q, out)
+			}
+		}
+	}
+}
+
+// TestLemma55NoContainingMonomials checks that pIII never contains a pair
+// of monomials where one strictly includes the other (Lemma 5.5), on random
+// workloads.
+func TestLemma55NoContainingMonomials(t *testing.T) {
+	params := workload.QueryParams{
+		NumAtoms: 2, NumVars: 3, NumRels: 1, Arity: 2, HeadArity: 0,
+		DiseqProb: 0.2, SelfJoinOK: true,
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		q := workload.RandomCQ(seed, params)
+		out := MinProvCQ(q)
+		d := db.NewInstance()
+		db.NewGenerator(seed).RandomGraph(d, "R1", 4, 8)
+		res, err := eval.EvalUCQ(out, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ot := range res.Tuples() {
+			ms := ot.Prov.Monomials()
+			for i := range ms {
+				for j := range ms {
+					if i != j && ms[i].ProperlyDivides(ms[j]) {
+						t.Fatalf("seed %d tuple %v: monomial %v strictly inside %v in core provenance %v",
+							seed, ot.Tuple, ms[i], ms[j], ot.Prov)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLemma57CoefficientsAreAutomorphismCounts verifies that every
+// coefficient in the realized core provenance equals the automorphism count
+// of the adjunct reconstructed from the monomial (Lemma 5.7 + Lemma 5.9).
+func TestLemma57CoefficientsAreAutomorphismCounts(t *testing.T) {
+	suite := []*query.CQ{
+		workload.QHat,
+		workload.QConj,
+		query.MustParse("ans() :- R(x,y), R(y,x)"),
+		query.MustParse("ans() :- R(x,y), R(u,v)"),
+	}
+	dbs := []*db.Instance{workload.Table2(), workload.Table6()}
+	for _, q := range suite {
+		out := MinProvCQ(q)
+		for _, d := range dbs {
+			res, err := eval.EvalUCQ(out, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ot := range res.Tuples() {
+				for _, term := range ot.Prov.Terms() {
+					if !term.Monomial.IsSupport() {
+						t.Fatalf("core monomial with exponent: %v", term.Monomial)
+					}
+					adj, err := reconstruct(term.Monomial, d, ot.Tuple, q.Consts())
+					if err != nil {
+						t.Fatalf("reconstruct %v: %v", term.Monomial, err)
+					}
+					if k := hom.CountAutomorphisms(adj); k != term.Coef {
+						t.Errorf("query %v tuple %v monomial %v: coefficient %d, Aut = %d",
+							q, ot.Tuple, term.Monomial, term.Coef, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// reconstruct mirrors direct.ReconstructAdjunct without importing the
+// direct package (avoiding an import cycle in tests is not an issue here,
+// but the duplication keeps this test independent of that implementation).
+func reconstruct(m semiring.Monomial, d *db.Instance, t db.Tuple, consts []string) (*query.CQ, error) {
+	isConst := map[string]bool{}
+	for _, c := range consts {
+		isConst[c] = true
+	}
+	varOf := map[string]string{}
+	next := 0
+	argFor := func(value string) query.Arg {
+		if isConst[value] {
+			return query.C(value)
+		}
+		if v, ok := varOf[value]; ok {
+			return query.V(v)
+		}
+		next++
+		v := "w" + string(rune('0'+next))
+		varOf[value] = v
+		return query.V(v)
+	}
+	var atoms []query.Atom
+	for _, tm := range m.Terms() {
+		rel, tuple, ok := d.FactOf(tm.Var)
+		if !ok {
+			return nil, errNotFound
+		}
+		args := make([]query.Arg, len(tuple))
+		for i, val := range tuple {
+			args[i] = argFor(val)
+		}
+		atoms = append(atoms, query.NewAtom(rel, args...))
+	}
+	headArgs := make([]query.Arg, len(t))
+	for i, val := range t {
+		headArgs[i] = argFor(val)
+	}
+	var vars []string
+	for _, v := range varOf {
+		vars = append(vars, v)
+	}
+	var ds []query.Diseq
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			ds = append(ds, query.NewDiseq(query.V(vars[i]), query.V(vars[j])))
+		}
+		for _, c := range consts {
+			ds = append(ds, query.NewDiseq(query.V(vars[i]), query.C(c)))
+		}
+	}
+	return query.NewCQ(query.NewAtom("ans", headArgs...), atoms, ds), nil
+}
+
+var errNotFound = &notFoundError{}
+
+type notFoundError struct{}
+
+func (*notFoundError) Error() string { return "tag not found" }

@@ -1,0 +1,80 @@
+package order
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/query"
+)
+
+// ResultLE reports whether annotated result a is pointwise ≤ result b: the
+// two results contain the same tuples and, for every tuple, a's provenance
+// is ≤ b's (the per-database content of Def. 2.17).
+func ResultLE(a, b *eval.Result) bool {
+	if !a.SameTuples(b) {
+		return false
+	}
+	for _, t := range a.Tuples() {
+		pb, _ := b.Lookup(t.Tuple)
+		if !PolyLE(t.Prov, pb) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareResults classifies two annotated results under the pointwise order.
+// Results over different tuple sets are Incomparable (the queries were not
+// equivalent on this database).
+func CompareResults(a, b *eval.Result) Relation {
+	le, ge := ResultLE(a, b), ResultLE(b, a)
+	switch {
+	case le && ge:
+		return Equal
+	case le:
+		return Less
+	case ge:
+		return Greater
+	}
+	return Incomparable
+}
+
+// CompareOnDB evaluates two queries over one database and classifies their
+// annotated results. It is the per-instance check underlying Def. 2.17:
+// Q ≤_P Q' requires Less-or-Equal on every abstractly-tagged instance.
+func CompareOnDB(q1, q2 *query.UCQ, d *db.Instance) (Relation, error) {
+	r1, err := eval.EvalUCQ(q1, d)
+	if err != nil {
+		return Incomparable, fmt.Errorf("evaluating q1: %w", err)
+	}
+	r2, err := eval.EvalUCQ(q2, d)
+	if err != nil {
+		return Incomparable, fmt.Errorf("evaluating q2: %w", err)
+	}
+	return CompareResults(r1, r2), nil
+}
+
+// Witness is the outcome of testing Q ≤_P Q' over a family of databases.
+type Witness struct {
+	Holds      bool         // no database violated q1 ≤ q2
+	CounterDB  *db.Instance // a database where q1 ≤ q2 fails (when !Holds)
+	CounterRel Relation     // the relation observed on CounterDB
+}
+
+// CertifyLEOnDatabases checks q1 ≤ q2 pointwise on each given database.
+// Passing cannot prove Q1 ≤_P Q2 (which quantifies over all instances), but
+// a failure yields a concrete counterexample database; the paper's
+// incomparability arguments (Lemma 3.6) are exactly such witnesses.
+func CertifyLEOnDatabases(q1, q2 *query.UCQ, dbs []*db.Instance) (Witness, error) {
+	for _, d := range dbs {
+		rel, err := CompareOnDB(q1, q2, d)
+		if err != nil {
+			return Witness{}, err
+		}
+		if rel != Less && rel != Equal {
+			return Witness{Holds: false, CounterDB: d, CounterRel: rel}, nil
+		}
+	}
+	return Witness{Holds: true}, nil
+}

@@ -1,0 +1,73 @@
+package order
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/query"
+)
+
+// Counterexample is a database witnessing that q1 ≤_P q2 fails, together
+// with the relation observed on it.
+type Counterexample struct {
+	DB       *db.Instance
+	Observed Relation
+}
+
+// FindCounterexample searches random small databases for a witness that
+// q1 ≤_P q2 does NOT hold (the queries are assumed equivalent). It tries
+// the given number of random instances over the queries' relations; nil
+// means no counterexample was found (which does not prove Q1 ≤_P Q2 — the
+// order quantifies over all instances — but is strong evidence). This is
+// the experimental analogue of the paper's Lemma 3.6 argument, which
+// exhibits exactly such witness databases for QnoPmin and Qalt.
+func FindCounterexample(q1, q2 *query.UCQ, tries int) (*Counterexample, error) {
+	rels := relationSignature(q1, q2)
+	for seed := int64(0); seed < int64(tries); seed++ {
+		d := db.NewInstance()
+		g := db.NewGenerator(seed)
+		for _, r := range rels {
+			// Vary density and domain with the seed for diversity.
+			domain := 2 + int(seed)%3
+			max := 1
+			for i := 0; i < r.arity; i++ {
+				max *= domain
+			}
+			n := 1 + (int(seed)+r.arity)%max
+			g.RandomRelation(d, r.name, r.arity, n, domain)
+		}
+		rel, err := CompareOnDB(q1, q2, d)
+		if err != nil {
+			return nil, fmt.Errorf("comparing on random db (seed %d): %w", seed, err)
+		}
+		if rel != Less && rel != Equal {
+			return &Counterexample{DB: d, Observed: rel}, nil
+		}
+	}
+	return nil, nil
+}
+
+type relSig struct {
+	name  string
+	arity int
+}
+
+func relationSignature(qs ...*query.UCQ) []relSig {
+	seen := map[string]int{}
+	var order []string
+	for _, u := range qs {
+		for _, q := range u.Adjuncts {
+			for _, at := range q.Atoms {
+				if _, ok := seen[at.Rel]; !ok {
+					order = append(order, at.Rel)
+				}
+				seen[at.Rel] = len(at.Args)
+			}
+		}
+	}
+	out := make([]relSig, 0, len(order))
+	for _, n := range order {
+		out = append(out, relSig{name: n, arity: seen[n]})
+	}
+	return out
+}

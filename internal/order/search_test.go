@@ -1,0 +1,70 @@
+package order
+
+import (
+	"testing"
+
+	"provmin/internal/query"
+)
+
+func TestFindCounterexampleRefutesQconjTerseness(t *testing.T) {
+	// Qconj is NOT ≤_P Qunion (the other direction of Example 2.18): a
+	// random search should find a witness quickly.
+	qconj := query.MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	qunion := query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	ce, err := FindCounterexample(qconj, qunion, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("expected a counterexample to Qconj ≤_P Qunion")
+	}
+	if ce.Observed == Less || ce.Observed == Equal {
+		t.Errorf("witness relation = %v", ce.Observed)
+	}
+	// Confirm the witness really violates the order.
+	rel, err := CompareOnDB(qconj, qunion, ce.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != ce.Observed {
+		t.Errorf("witness does not reproduce: %v vs %v", rel, ce.Observed)
+	}
+}
+
+func TestFindCounterexampleAcceptsTrueOrder(t *testing.T) {
+	// Qunion ≤_P Qconj holds (Theorem 3.11): no witness should exist.
+	qconj := query.MustParseUnion("ans(x) :- R(x,y), R(y,x)")
+	qunion := query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	ce, err := FindCounterexample(qunion, qconj, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("found a false counterexample on\n%s (%v)", ce.DB, ce.Observed)
+	}
+}
+
+func TestFindCounterexampleLemma36(t *testing.T) {
+	// QnoPmin vs Qalt: both directions must be refutable.
+	qNoPmin := query.MustParseUnion("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+	qAlt := query.MustParseUnion("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+	ce1, err := FindCounterexample(qNoPmin, qAlt, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce2, err := FindCounterexample(qAlt, qNoPmin, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce1 == nil || ce2 == nil {
+		t.Errorf("expected counterexamples in both directions (Lemma 3.6): %v / %v", ce1, ce2)
+	}
+}
+
+func TestRelationSignature(t *testing.T) {
+	u := query.MustParseUnion("ans(x) :- R(x,y), S(x)\nans(x) :- R(x,x)")
+	sig := relationSignature(u)
+	if len(sig) != 2 || sig[0].name != "R" || sig[0].arity != 2 || sig[1].name != "S" || sig[1].arity != 1 {
+		t.Errorf("signature = %v", sig)
+	}
+}

@@ -1,0 +1,96 @@
+// Package partition enumerates constrained set partitions of a query's
+// arguments, the combinatorial core of the canonical rewriting (Def. 4.1):
+// the arguments Var(Q) ∪ C are split into disjoint subsets such that each
+// subset contains at most one constant and the two endpoints of every
+// disequality fall into different subsets.
+package partition
+
+// Block is one class of a partition: an optional constant anchor plus the
+// variables identified with it (or with each other when Const is empty).
+type Block struct {
+	Const string   // "" when the block has no constant
+	Vars  []string // variables in the block, in insertion order
+}
+
+// Enumerate generates every partition of vars into blocks, where each block
+// may additionally be anchored at one of the given constants (constants are
+// pairwise distinct values so they always occupy distinct blocks), subject
+// to the separation constraints: for each pair {a, b} in separated, a and b
+// must not end up in the same block. Pair members may name variables or
+// constants.
+//
+// fn is invoked once per partition with freshly allocated blocks; blocks
+// holding only a constant and no variables are included (they correspond to
+// constants of C unused by the completion). fn returns false to stop early.
+// Enumerate reports whether the enumeration ran to completion.
+func Enumerate(vars, consts []string, separated [][2]string, fn func(blocks []Block) bool) bool {
+	sep := map[[2]string]bool{}
+	for _, p := range separated {
+		sep[[2]string{p[0], p[1]}] = true
+		sep[[2]string{p[1], p[0]}] = true
+	}
+	blocks := make([]Block, len(consts))
+	for i, c := range consts {
+		blocks[i] = Block{Const: c}
+	}
+	e := &enum{vars: vars, sep: sep, fn: fn, blocks: blocks, fixed: len(consts)}
+	return e.place(0)
+}
+
+// Count returns the number of partitions Enumerate would produce.
+func Count(vars, consts []string, separated [][2]string) int {
+	n := 0
+	Enumerate(vars, consts, separated, func([]Block) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+type enum struct {
+	vars   []string
+	sep    map[[2]string]bool
+	fn     func([]Block) bool
+	blocks []Block
+	fixed  int // first `fixed` blocks are constant anchors and always kept
+}
+
+func (e *enum) place(i int) bool {
+	if i == len(e.vars) {
+		out := make([]Block, len(e.blocks))
+		for j, b := range e.blocks {
+			vs := make([]string, len(b.Vars))
+			copy(vs, b.Vars)
+			out[j] = Block{Const: b.Const, Vars: vs}
+		}
+		return e.fn(out)
+	}
+	v := e.vars[i]
+	for j := range e.blocks {
+		if e.conflicts(v, e.blocks[j]) {
+			continue
+		}
+		e.blocks[j].Vars = append(e.blocks[j].Vars, v)
+		if !e.place(i + 1) {
+			return false
+		}
+		e.blocks[j].Vars = e.blocks[j].Vars[:len(e.blocks[j].Vars)-1]
+	}
+	// New block containing only v.
+	e.blocks = append(e.blocks, Block{Vars: []string{v}})
+	ok := e.place(i + 1)
+	e.blocks = e.blocks[:len(e.blocks)-1]
+	return ok
+}
+
+func (e *enum) conflicts(v string, b Block) bool {
+	if b.Const != "" && e.sep[[2]string{v, b.Const}] {
+		return true
+	}
+	for _, w := range b.Vars {
+		if e.sep[[2]string{v, w}] {
+			return true
+		}
+	}
+	return false
+}

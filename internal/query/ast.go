@@ -1,0 +1,413 @@
+// Package query implements the query calculus of the paper: rule-based
+// conjunctive queries with disequalities (CQ≠, Def. 2.1), the subclasses CQ
+// (no disequalities) and cCQ≠ (complete queries, Def. 2.2), and unions of
+// conjunctive queries UCQ≠ (Def. 2.4).
+//
+// Queries are written in a Datalog-like surface syntax:
+//
+//	ans(x, y) :- R(x, y), S(y, 'c'), x != y, y != 'c'
+//
+// Identifiers are variables; quoted tokens ('c' or "c") and numeric literals
+// are constants. A union is a sequence of rules with the same head relation
+// separated by newlines or semicolons.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Arg is an argument of an atom: either a variable or a constant.
+type Arg struct {
+	Const bool   // true for constants
+	Name  string // variable name or constant value
+}
+
+// V returns a variable argument.
+func V(name string) Arg { return Arg{Name: name} }
+
+// C returns a constant argument.
+func C(value string) Arg { return Arg{Const: true, Name: value} }
+
+// String renders a variable bare and a constant quoted.
+func (a Arg) String() string {
+	if a.Const {
+		return "'" + a.Name + "'"
+	}
+	return a.Name
+}
+
+// Atom is a relational atom R(l1, ..., lk).
+type Atom struct {
+	Rel  string
+	Args []Arg
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, args ...Arg) Atom { return Atom{Rel: rel, Args: args} }
+
+// String renders the atom, e.g. "R(x,'a')".
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, arg := range a.Args {
+		parts[i] = arg.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equal reports syntactic equality of atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (a Atom) Clone() Atom {
+	args := make([]Arg, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Rel: a.Rel, Args: args}
+}
+
+// Diseq is a disequality atom l1 != l2. Def. 2.1 requires the left side to
+// be a variable; the right side is a variable or a constant. Diseqs are kept
+// in a normalized form (see Normalize) so that set operations are cheap.
+type Diseq struct {
+	Left  Arg // always a variable after Normalize
+	Right Arg
+}
+
+// NewDiseq builds a normalized disequality.
+func NewDiseq(l, r Arg) Diseq { return Diseq{Left: l, Right: r}.Normalize() }
+
+// Normalize orders the two sides canonically: a variable-variable pair is
+// sorted by name; a variable-constant pair puts the variable on the left.
+func (d Diseq) Normalize() Diseq {
+	switch {
+	case d.Left.Const && !d.Right.Const:
+		return Diseq{Left: d.Right, Right: d.Left}
+	case !d.Left.Const && !d.Right.Const && d.Right.Name < d.Left.Name:
+		return Diseq{Left: d.Right, Right: d.Left}
+	}
+	return d
+}
+
+// String renders the disequality, e.g. "x != 'a'".
+func (d Diseq) String() string { return d.Left.String() + " != " + d.Right.String() }
+
+// Mentions reports whether the disequality involves the given argument.
+func (d Diseq) Mentions(a Arg) bool { return d.Left == a || d.Right == a }
+
+// CQ is a rule-based conjunctive query with disequalities (Def. 2.1).
+type CQ struct {
+	Head   Atom    // head(Q); arity 0 means a boolean query
+	Atoms  []Atom  // relational atoms, body order preserved
+	Diseqs []Diseq // disequality atoms, normalized
+}
+
+// NewCQ builds a conjunctive query, normalizing and deduplicating its
+// disequalities.
+func NewCQ(head Atom, atoms []Atom, diseqs []Diseq) *CQ {
+	q := &CQ{Head: head, Atoms: atoms}
+	q.Diseqs = normalizeDiseqs(diseqs)
+	return q
+}
+
+func normalizeDiseqs(ds []Diseq) []Diseq {
+	seen := map[Diseq]bool{}
+	out := make([]Diseq, 0, len(ds))
+	for _, d := range ds {
+		n := d.Normalize()
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return diseqLess(out[i], out[j]) })
+	return out
+}
+
+func diseqLess(a, b Diseq) bool {
+	if a.Left != b.Left {
+		if a.Left.Const != b.Left.Const {
+			return !a.Left.Const
+		}
+		return a.Left.Name < b.Left.Name
+	}
+	if a.Right.Const != b.Right.Const {
+		return !a.Right.Const
+	}
+	return a.Right.Name < b.Right.Name
+}
+
+// IsBoolean reports whether the head has arity 0.
+func (q *CQ) IsBoolean() bool { return len(q.Head.Args) == 0 }
+
+// Vars returns Var(Q): the sorted set of variables in the body (head
+// variables are required to occur in the body by safety).
+func (q *CQ) Vars() []string {
+	seen := map[string]bool{}
+	for _, at := range q.Atoms {
+		for _, a := range at.Args {
+			if !a.Const {
+				seen[a.Name] = true
+			}
+		}
+	}
+	for _, a := range q.Head.Args {
+		if !a.Const {
+			seen[a.Name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Consts returns Const(Q): the sorted set of constants appearing anywhere in
+// the query (head, relational atoms, disequalities).
+func (q *CQ) Consts() []string {
+	seen := map[string]bool{}
+	add := func(a Arg) {
+		if a.Const {
+			seen[a.Name] = true
+		}
+	}
+	add2 := func(at Atom) {
+		for _, a := range at.Args {
+			add(a)
+		}
+	}
+	add2(q.Head)
+	for _, at := range q.Atoms {
+		add2(at)
+	}
+	for _, d := range q.Diseqs {
+		add(d.Left)
+		add(d.Right)
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasDiseq reports whether the normalized disequality between a and b is
+// present in the query.
+func (q *CQ) HasDiseq(a, b Arg) bool {
+	want := NewDiseq(a, b)
+	for _, d := range q.Diseqs {
+		if d == want {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDiseqs reports whether the query contains any disequality atoms, i.e.
+// whether it falls outside the subclass CQ.
+func (q *CQ) HasDiseqs() bool { return len(q.Diseqs) > 0 }
+
+// Clone returns a deep copy of the query.
+func (q *CQ) Clone() *CQ {
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.Clone()
+	}
+	diseqs := make([]Diseq, len(q.Diseqs))
+	copy(diseqs, q.Diseqs)
+	return &CQ{Head: q.Head.Clone(), Atoms: atoms, Diseqs: diseqs}
+}
+
+// Subst maps variable names to replacement arguments.
+type Subst map[string]Arg
+
+// Apply returns the image of a under the substitution (constants unchanged,
+// unmapped variables unchanged).
+func (s Subst) Apply(a Arg) Arg {
+	if a.Const {
+		return a
+	}
+	if r, ok := s[a.Name]; ok {
+		return r
+	}
+	return a
+}
+
+// ApplySubst returns a new query with every variable occurrence replaced
+// according to s. Disequalities are re-normalized; a disequality whose two
+// sides become the same argument makes the query unsatisfiable, which the
+// caller must check via HasContradiction.
+func (q *CQ) ApplySubst(s Subst) *CQ {
+	out := q.Clone()
+	for i := range out.Head.Args {
+		out.Head.Args[i] = s.Apply(out.Head.Args[i])
+	}
+	for i := range out.Atoms {
+		for j := range out.Atoms[i].Args {
+			out.Atoms[i].Args[j] = s.Apply(out.Atoms[i].Args[j])
+		}
+	}
+	ds := make([]Diseq, 0, len(out.Diseqs))
+	for _, d := range out.Diseqs {
+		nd := Diseq{Left: s.Apply(d.Left), Right: s.Apply(d.Right)}
+		ds = append(ds, nd)
+	}
+	out.Diseqs = normalizeDiseqs(ds)
+	return out
+}
+
+// HasContradiction reports whether some disequality has two identical sides
+// (l != l) or relates two distinct constants trivially satisfied; only the
+// former makes a query unsatisfiable, and that is what this reports.
+func (q *CQ) HasContradiction() bool {
+	for _, d := range q.Diseqs {
+		if d.Left == d.Right {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveAtom returns a copy of q without the relational atom at index i.
+func (q *CQ) RemoveAtom(i int) *CQ {
+	out := q.Clone()
+	out.Atoms = append(out.Atoms[:i], out.Atoms[i+1:]...)
+	return out
+}
+
+// String renders the query as a rule, e.g.
+// "ans(x) :- R(x,y), R(y,x), x != y".
+func (q *CQ) String() string {
+	var b strings.Builder
+	b.WriteString(q.Head.String())
+	b.WriteString(" :- ")
+	parts := make([]string, 0, len(q.Atoms)+len(q.Diseqs))
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, d := range q.Diseqs {
+		parts = append(parts, d.String())
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	return b.String()
+}
+
+// SortedString renders the query with relational atoms sorted, giving a
+// body-order-insensitive key for syntactic comparison (not isomorphism).
+func (q *CQ) SortedString() string {
+	atoms := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.String()
+	}
+	sort.Strings(atoms)
+	ds := make([]string, len(q.Diseqs))
+	for i, d := range q.Diseqs {
+		ds[i] = d.String()
+	}
+	sort.Strings(ds)
+	return q.Head.String() + " :- " + strings.Join(append(atoms, ds...), ", ")
+}
+
+// Equal reports body-order-insensitive syntactic equality (same head, same
+// multiset of atoms, same set of disequalities). Variable names matter; use
+// hom.Isomorphic for equality up to renaming.
+func (q *CQ) Equal(r *CQ) bool { return q.SortedString() == r.SortedString() }
+
+// UCQ is a union of conjunctive queries with disequalities (Def. 2.4). All
+// adjunct heads must share the same relation name and arity.
+type UCQ struct {
+	Adjuncts []*CQ
+}
+
+// NewUCQ builds a union and validates head compatibility.
+func NewUCQ(adjuncts ...*CQ) (*UCQ, error) {
+	if len(adjuncts) == 0 {
+		return nil, fmt.Errorf("union must have at least one adjunct")
+	}
+	h := adjuncts[0].Head
+	for _, q := range adjuncts[1:] {
+		if q.Head.Rel != h.Rel || len(q.Head.Args) != len(h.Args) {
+			return nil, fmt.Errorf("adjunct head %s incompatible with %s", q.Head, h)
+		}
+	}
+	return &UCQ{Adjuncts: adjuncts}, nil
+}
+
+// Single wraps a lone conjunctive query as a UCQ.
+func Single(q *CQ) *UCQ { return &UCQ{Adjuncts: []*CQ{q}} }
+
+// IsBoolean reports whether the union's head has arity 0.
+func (u *UCQ) IsBoolean() bool { return u.Adjuncts[0].IsBoolean() }
+
+// Vars returns the union of the adjuncts' variable sets (Def. 2.4 note).
+func (u *UCQ) Vars() []string {
+	seen := map[string]bool{}
+	for _, q := range u.Adjuncts {
+		for _, v := range q.Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Consts returns the union of the adjuncts' constant sets.
+func (u *UCQ) Consts() []string {
+	seen := map[string]bool{}
+	for _, q := range u.Adjuncts {
+		for _, c := range q.Consts() {
+			seen[c] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumAtoms returns the total number of relational atoms over all adjuncts, a
+// standard size measure for queries.
+func (u *UCQ) NumAtoms() int {
+	n := 0
+	for _, q := range u.Adjuncts {
+		n += len(q.Atoms)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the union.
+func (u *UCQ) Clone() *UCQ {
+	adj := make([]*CQ, len(u.Adjuncts))
+	for i, q := range u.Adjuncts {
+		adj[i] = q.Clone()
+	}
+	return &UCQ{Adjuncts: adj}
+}
+
+// String renders the union one rule per line.
+func (u *UCQ) String() string {
+	lines := make([]string, len(u.Adjuncts))
+	for i, q := range u.Adjuncts {
+		lines[i] = q.String()
+	}
+	return strings.Join(lines, "\n")
+}

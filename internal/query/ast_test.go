@@ -1,0 +1,129 @@
+package query
+
+import "testing"
+
+func TestVarsAndConsts(t *testing.T) {
+	q := MustParse("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c'")
+	vars := q.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	consts := q.Consts()
+	if len(consts) != 1 || consts[0] != "c" {
+		t.Errorf("Consts = %v", consts)
+	}
+}
+
+func TestConstsIncludeDiseqOnlyConstants(t *testing.T) {
+	// Example 4.2's query: constant 'a' appears only in a disequality.
+	q := MustParse("ans(x,y) :- R(x,y), x != 'a', x != y")
+	consts := q.Consts()
+	if len(consts) != 1 || consts[0] != "a" {
+		t.Errorf("Consts = %v", consts)
+	}
+}
+
+func TestHasDiseqSymmetric(t *testing.T) {
+	q := MustParse("ans() :- R(x,y), x != y")
+	if !q.HasDiseq(V("x"), V("y")) || !q.HasDiseq(V("y"), V("x")) {
+		t.Error("HasDiseq must be symmetric for variables")
+	}
+	if q.HasDiseq(V("x"), C("a")) {
+		t.Error("absent diseq reported")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse("ans(x) :- R(x,y), x != y")
+	c := q.Clone()
+	c.Atoms[0].Args[0] = C("mutated")
+	c.Head.Args[0] = C("mutated")
+	if q.Atoms[0].Args[0] != V("x") || q.Head.Args[0] != V("x") {
+		t.Error("Clone must not share argument storage")
+	}
+}
+
+func TestApplySubst(t *testing.T) {
+	q := MustParse("ans(x) :- R(x,y), R(y,x), x != y")
+	got := q.ApplySubst(Subst{"y": V("x")})
+	// Both atoms become R(x,x); the diseq becomes x != x (contradiction).
+	if !got.Atoms[0].Equal(NewAtom("R", V("x"), V("x"))) {
+		t.Errorf("atom = %v", got.Atoms[0])
+	}
+	if !got.HasContradiction() {
+		t.Error("x != x must be a contradiction")
+	}
+}
+
+func TestApplySubstToConstant(t *testing.T) {
+	q := MustParse("ans(x) :- R(x,y), x != y")
+	got := q.ApplySubst(Subst{"y": C("a")})
+	if !got.Atoms[0].Equal(NewAtom("R", V("x"), C("a"))) {
+		t.Errorf("atom = %v", got.Atoms[0])
+	}
+	if !got.HasDiseq(V("x"), C("a")) {
+		t.Errorf("diseq not rewritten: %v", got.Diseqs)
+	}
+}
+
+func TestRemoveAtom(t *testing.T) {
+	q := MustParse("ans() :- R(x,y), S(y), T(y,z)")
+	got := q.RemoveAtom(1)
+	if len(got.Atoms) != 2 || got.Atoms[0].Rel != "R" || got.Atoms[1].Rel != "T" {
+		t.Errorf("RemoveAtom = %v", got.Atoms)
+	}
+	if len(q.Atoms) != 3 {
+		t.Error("RemoveAtom must not mutate the receiver")
+	}
+}
+
+func TestEqualBodyOrderInsensitive(t *testing.T) {
+	a := MustParse("ans() :- R(x,y), S(y), x != y")
+	b := MustParse("ans() :- S(y), R(x,y), x != y")
+	if !a.Equal(b) {
+		t.Error("Equal must ignore body order")
+	}
+	c := MustParse("ans() :- R(x,y), S(x), x != y")
+	if a.Equal(c) {
+		t.Error("different bodies must not be Equal")
+	}
+}
+
+func TestUCQAccessors(t *testing.T) {
+	u := MustParseUnion("ans(x) :- R(x,y), x != y\nans(x) :- S(x,'a')")
+	if got := u.NumAtoms(); got != 2 {
+		t.Errorf("NumAtoms = %d", got)
+	}
+	vars := u.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	consts := u.Consts()
+	if len(consts) != 1 || consts[0] != "a" {
+		t.Errorf("Consts = %v", consts)
+	}
+	c := u.Clone()
+	c.Adjuncts[0].Atoms[0].Args[0] = C("z")
+	if u.Adjuncts[0].Atoms[0].Args[0] != V("x") {
+		t.Error("UCQ.Clone must be deep")
+	}
+}
+
+func TestDiseqNormalize(t *testing.T) {
+	d := Diseq{Left: C("a"), Right: V("x")}.Normalize()
+	if d.Left != V("x") || d.Right != C("a") {
+		t.Errorf("Normalize = %v", d)
+	}
+	d = Diseq{Left: V("z"), Right: V("a")}.Normalize()
+	if d.Left != V("a") || d.Right != V("z") {
+		t.Errorf("Normalize = %v", d)
+	}
+}
+
+func TestSingleUnion(t *testing.T) {
+	q := MustParse("ans(x) :- R(x,x)")
+	u := Single(q)
+	if len(u.Adjuncts) != 1 || u.Adjuncts[0] != q {
+		t.Errorf("Single = %v", u)
+	}
+}

@@ -1,0 +1,103 @@
+package query
+
+// IsComplete reports whether the query is complete in the sense of Def. 2.2:
+// (1) for every pair of distinct variables x, y in Var(Q) the query contains
+// x != y, and (2) for every variable x and constant c in Const(Q) it
+// contains x != c. Queries without disequalities and with at most one
+// variable and no constants are vacuously complete.
+func (q *CQ) IsComplete() bool {
+	vars := q.Vars()
+	consts := q.Consts()
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			if !q.HasDiseq(V(vars[i]), V(vars[j])) {
+				return false
+			}
+		}
+		for _, c := range consts {
+			if !q.HasDiseq(V(vars[i]), C(c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsCompleteWRT reports whether the query is complete with respect to the
+// constant set extra ⊇ Const(Q), as used in the proof of Prop. 4.8: complete,
+// and additionally containing v != c for every v in Var(Q) and c in extra.
+func (q *CQ) IsCompleteWRT(extra []string) bool {
+	if !q.IsComplete() {
+		return false
+	}
+	for _, v := range q.Vars() {
+		for _, c := range extra {
+			if !q.HasDiseq(V(v), C(c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CompleteWRT returns a copy of q extended with all disequalities between
+// distinct variables and between variables and the given constants (which
+// should include Const(Q)). The result is complete w.r.t. consts. Note this
+// changes the query's semantics unless the disequalities already hold on the
+// intended instances; the canonical rewriting (Def. 4.1), not this helper,
+// is the semantics-preserving construction.
+func (q *CQ) CompleteWRT(consts []string) *CQ {
+	out := q.Clone()
+	vars := q.Vars()
+	seen := map[string]bool{}
+	for _, c := range append(q.Consts(), consts...) {
+		seen[c] = true
+	}
+	allConsts := make([]string, 0, len(seen))
+	for c := range seen {
+		allConsts = append(allConsts, c)
+	}
+	ds := out.Diseqs
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			ds = append(ds, NewDiseq(V(vars[i]), V(vars[j])))
+		}
+		for _, c := range allConsts {
+			ds = append(ds, NewDiseq(V(vars[i]), C(c)))
+		}
+	}
+	out.Diseqs = normalizeDiseqs(ds)
+	return out
+}
+
+// DedupAtoms returns a copy of q with duplicated relational atoms (same
+// relation, same argument list) removed, keeping the first occurrence. By
+// Lemma 3.13 this is exactly (p-)minimization for complete queries.
+func (q *CQ) DedupAtoms() *CQ {
+	out := q.Clone()
+	seen := map[string]bool{}
+	kept := out.Atoms[:0]
+	for _, a := range out.Atoms {
+		k := a.String()
+		if !seen[k] {
+			seen[k] = true
+			kept = append(kept, a)
+		}
+	}
+	out.Atoms = kept
+	return out
+}
+
+// HasDuplicateAtoms reports whether two relational atoms are syntactically
+// identical.
+func (q *CQ) HasDuplicateAtoms() bool {
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		k := a.String()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
+}

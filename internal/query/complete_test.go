@@ -1,0 +1,127 @@
+package query
+
+import "testing"
+
+func TestIsCompleteExample23(t *testing.T) {
+	// Example 2.3: Q is not complete, Q' is.
+	q := MustParse("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c'")
+	if q.IsComplete() {
+		t.Error("Q from Example 2.3 is not complete (missing x != 'c')")
+	}
+	qp := MustParse("ans(x,y) :- R(x,y), S(y,'c'), x != y, y != 'c', x != 'c'")
+	if !qp.IsComplete() {
+		t.Error("Q' from Example 2.3 is complete")
+	}
+}
+
+func TestIsCompleteVacuous(t *testing.T) {
+	if !MustParse("ans(x) :- R(x,x)").IsComplete() {
+		t.Error("single-variable constant-free query is vacuously complete")
+	}
+	if !MustParse("ans() :- R(x)").IsComplete() {
+		t.Error("ans() :- R(x) is vacuously complete")
+	}
+}
+
+func TestIsCompleteMissingVarPair(t *testing.T) {
+	q := MustParse("ans() :- R(x,y), R(y,z), x != y, y != z")
+	if q.IsComplete() {
+		t.Error("missing x != z, query is not complete")
+	}
+	full := MustParse("ans() :- R(x,y), R(y,z), x != y, y != z, x != z")
+	if !full.IsComplete() {
+		t.Error("all pairs present, query is complete")
+	}
+}
+
+func TestIsCompleteWRT(t *testing.T) {
+	q := MustParse("ans(x) :- R(x), x != 'a'")
+	if !q.IsComplete() {
+		t.Fatal("q should be complete (one var, one const)")
+	}
+	if q.IsCompleteWRT([]string{"b"}) {
+		t.Error("q lacks x != 'b'")
+	}
+	ext := MustParse("ans(x) :- R(x), x != 'a', x != 'b'")
+	if !ext.IsCompleteWRT([]string{"b"}) {
+		t.Error("extended query is complete w.r.t. {b}")
+	}
+}
+
+func TestCompleteWRT(t *testing.T) {
+	q := MustParse("ans() :- R(x,y), S(y,'c')")
+	got := q.CompleteWRT([]string{"d"})
+	if !got.IsComplete() {
+		t.Error("CompleteWRT result must be complete")
+	}
+	if !got.IsCompleteWRT([]string{"d"}) {
+		t.Error("CompleteWRT result must be complete w.r.t. the extra constants")
+	}
+	// x != y, x != 'c', y != 'c', x != 'd', y != 'd' => 5 diseqs
+	if len(got.Diseqs) != 5 {
+		t.Errorf("diseqs = %v", got.Diseqs)
+	}
+	if q.HasDiseqs() {
+		t.Error("CompleteWRT must not mutate the receiver")
+	}
+}
+
+func TestDedupAtoms(t *testing.T) {
+	// Q̂1 from Figure 3: three copies of R(v1,v1) collapse to one.
+	q := MustParse("ans() :- R(v1,v1), R(v1,v1), R(v1,v1)")
+	got := q.DedupAtoms()
+	if len(got.Atoms) != 1 {
+		t.Errorf("DedupAtoms = %v", got.Atoms)
+	}
+	if !q.HasDuplicateAtoms() {
+		t.Error("HasDuplicateAtoms should be true before dedup")
+	}
+	if got.HasDuplicateAtoms() {
+		t.Error("HasDuplicateAtoms should be false after dedup")
+	}
+}
+
+func TestDedupAtomsKeepsDistinct(t *testing.T) {
+	q := MustParse("ans() :- R(x,y), R(y,x), x != y")
+	got := q.DedupAtoms()
+	if len(got.Atoms) != 2 {
+		t.Errorf("distinct atoms must be kept: %v", got.Atoms)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		rule string
+		want Class
+	}{
+		{"ans(x) :- R(x,x)", ClassCQ},
+		{"ans() :- R(x,y), R(y,z), x != z", ClassCQNeq},
+		{"ans(x) :- R(x,y), x != y", ClassCCQNeq},
+	}
+	for _, c := range cases {
+		if got := ClassOf(MustParse(c.rule)); got != c.want {
+			t.Errorf("ClassOf(%q) = %v, want %v", c.rule, got, c.want)
+		}
+	}
+}
+
+func TestClassOfUnion(t *testing.T) {
+	u := MustParseUnion("ans(x) :- R(x,y), x != y\nans(x) :- R(x,x)")
+	if got := ClassOfUnion(u); got != ClassCUCQNeq {
+		t.Errorf("ClassOfUnion = %v, want cUCQ!=", got)
+	}
+	u2 := MustParseUnion("ans() :- R(x,y), R(y,z), x != z\nans() :- R(x,x)")
+	if got := ClassOfUnion(u2); got != ClassUCQNeq {
+		t.Errorf("ClassOfUnion = %v, want UCQ!=", got)
+	}
+	u3 := MustParseUnion("ans(x) :- R(x,x)")
+	if got := ClassOfUnion(u3); got != ClassCQ {
+		t.Errorf("singleton ClassOfUnion = %v, want CQ", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassCQ.String() != "CQ" || ClassCCQNeq.String() != "cCQ!=" {
+		t.Error("Class.String misnames classes")
+	}
+}

@@ -1,0 +1,58 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted inputs
+// round-trip: Parse(q.String()) succeeds and is Equal to q.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"ans(x) :- R(x,y), R(y,x), x != y",
+		"ans(x) :- R(x,x)",
+		"ans() :- R(x,y), R(y,z), x != z",
+		"ans(x,'a') :- R(x,'a'), x != 'a'",
+		"ans(x) :- R(x,y), S(y,'c'), x != y, y != 'c'",
+		"ans() :- R(x)",
+		"ans(x):=R(x,42)",
+		"ans(x) :- R(x), 'a' != x",
+		"", ":-", "ans(", "ans(x) :- ", "ans(x) :- R(x", "x != y",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip parse failed for %q -> %q: %v", input, q.String(), err)
+		}
+		if !q.Equal(q2) {
+			t.Fatalf("round trip not equal: %q vs %q", q.String(), q2.String())
+		}
+		if err := q2.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzParseUnion checks the union parser never panics.
+func FuzzParseUnion(f *testing.F) {
+	f.Add("ans(x) :- R(x,x)\nans(x) :- S(x)")
+	f.Add("ans(x) :- R(x,x); ans(x) :- R(x,y), x != y")
+	f.Add("# c\nans() :- R(x)")
+	f.Fuzz(func(t *testing.T, input string) {
+		u, err := ParseUnion(input)
+		if err != nil {
+			return
+		}
+		u2, err := ParseUnion(u.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(u.Adjuncts) != len(u2.Adjuncts) {
+			t.Fatalf("adjunct count changed: %d vs %d", len(u.Adjuncts), len(u2.Adjuncts))
+		}
+	})
+}

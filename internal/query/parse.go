@@ -1,0 +1,260 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a single conjunctive-query rule:
+//
+//	head :- body
+//	head := ident '(' args? ')'
+//	body := item (',' item)*
+//	item := ident '(' args? ')' | arg '!=' arg
+//	arg  := ident | quoted | number
+//
+// ":=" is accepted as a synonym for ":-" (the paper uses ":="). Identifiers
+// are variables; 'quoted', "quoted" and numeric literals are constants.
+func Parse(rule string) (*CQ, error) {
+	p := &parser{in: rule}
+	q, err := p.parseRule()
+	if err != nil {
+		return nil, fmt.Errorf("parse query %q: %w", rule, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid query %q: %w", rule, err)
+	}
+	return q, nil
+}
+
+// ParseRule parses a rule with the relaxed validation used by Datalog
+// programs: safety conditions are enforced but the head relation may occur
+// in rule bodies (the program layer rejects recursion globally).
+func ParseRule(rule string) (*CQ, error) {
+	p := &parser{in: rule}
+	q, err := p.parseRule()
+	if err != nil {
+		return nil, fmt.Errorf("parse rule %q: %w", rule, err)
+	}
+	if err := q.ValidateSafety(); err != nil {
+		return nil, fmt.Errorf("invalid rule %q: %w", rule, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literal programs.
+func MustParse(rule string) *CQ {
+	q, err := Parse(rule)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseUnion parses a union of rules separated by newlines or semicolons.
+// Blank lines and lines starting with '#' or '--' are skipped.
+func ParseUnion(text string) (*UCQ, error) {
+	var adjuncts []*CQ
+	for _, chunk := range splitRules(text) {
+		q, err := Parse(chunk)
+		if err != nil {
+			return nil, err
+		}
+		adjuncts = append(adjuncts, q)
+	}
+	if len(adjuncts) == 0 {
+		return nil, fmt.Errorf("parse union: no rules found")
+	}
+	return NewUCQ(adjuncts...)
+}
+
+// MustParseUnion is ParseUnion that panics on error.
+func MustParseUnion(text string) *UCQ {
+	u, err := ParseUnion(text)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func splitRules(text string) []string {
+	var out []string
+	for _, line := range strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' }) {
+		s := strings.TrimSpace(line)
+		if s == "" || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "--") {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) parseRule() (*CQ, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return nil, fmt.Errorf("head: %w", err)
+	}
+	p.skipSpace()
+	if !p.consume(":-") && !p.consume(":=") {
+		return nil, fmt.Errorf("expected \":-\" at offset %d", p.pos)
+	}
+	var atoms []Atom
+	var diseqs []Diseq
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			break
+		}
+		save := p.pos
+		// Try "arg != arg" first; fall back to a relational atom.
+		if d, ok := p.tryParseDiseq(); ok {
+			diseqs = append(diseqs, d)
+		} else {
+			p.pos = save
+			a, err := p.parseAtom()
+			if err != nil {
+				return nil, fmt.Errorf("body: %w", err)
+			}
+			atoms = append(atoms, a)
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			break
+		}
+		if p.in[p.pos] != ',' {
+			return nil, fmt.Errorf("expected ',' at offset %d", p.pos)
+		}
+		p.pos++
+	}
+	return NewCQ(head, atoms, diseqs), nil
+}
+
+func (p *parser) tryParseDiseq() (Diseq, bool) {
+	l, err := p.parseArg()
+	if err != nil {
+		return Diseq{}, false
+	}
+	p.skipSpace()
+	if !p.consume("!=") && !p.consume("<>") {
+		return Diseq{}, false
+	}
+	p.skipSpace()
+	r, err := p.parseArg()
+	if err != nil {
+		return Diseq{}, false
+	}
+	return NewDiseq(l, r), true
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	p.skipSpace()
+	rel, err := p.parseIdent()
+	if err != nil {
+		return Atom{}, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+		return Atom{}, fmt.Errorf("expected '(' after relation %q at offset %d", rel, p.pos)
+	}
+	p.pos++
+	var args []Arg
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == ')' {
+		p.pos++
+		return Atom{Rel: rel, Args: args}, nil
+	}
+	for {
+		a, err := p.parseArg()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, a)
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			return Atom{}, fmt.Errorf("unterminated atom %q", rel)
+		}
+		switch p.in[p.pos] {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return Atom{Rel: rel, Args: args}, nil
+		default:
+			return Atom{}, fmt.Errorf("unexpected %q in atom at offset %d", p.in[p.pos], p.pos)
+		}
+	}
+}
+
+func (p *parser) parseArg() (Arg, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return Arg{}, fmt.Errorf("expected argument at offset %d", p.pos)
+	}
+	switch c := p.in[p.pos]; {
+	case c == '\'' || c == '"':
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) && p.in[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.in) {
+			return Arg{}, fmt.Errorf("unterminated constant at offset %d", start)
+		}
+		val := p.in[start:p.pos]
+		p.pos++
+		return C(val), nil
+	case unicode.IsDigit(rune(c)):
+		start := p.pos
+		for p.pos < len(p.in) && (unicode.IsDigit(rune(p.in[p.pos])) || p.in[p.pos] == '.') {
+			p.pos++
+		}
+		return C(p.in[start:p.pos]), nil
+	default:
+		name, err := p.parseIdent()
+		if err != nil {
+			return Arg{}, err
+		}
+		return V(name), nil
+	}
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := rune(p.in[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", start)
+	}
+	if unicode.IsDigit(rune(p.in[start])) {
+		return "", fmt.Errorf("identifier must not start with a digit at offset %d", start)
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) consume(tok string) bool {
+	if strings.HasPrefix(p.in[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\r') {
+		p.pos++
+	}
+}

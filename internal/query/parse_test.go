@@ -1,0 +1,152 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFig1Queries(t *testing.T) {
+	q1 := MustParse("ans(x) :- R(x,y), R(y,x), x != y")
+	if q1.Head.Rel != "ans" || len(q1.Head.Args) != 1 {
+		t.Errorf("head = %v", q1.Head)
+	}
+	if len(q1.Atoms) != 2 || len(q1.Diseqs) != 1 {
+		t.Errorf("body = %v / %v", q1.Atoms, q1.Diseqs)
+	}
+	q2 := MustParse("ans(x) :- R(x,x)")
+	if len(q2.Atoms) != 1 || q2.HasDiseqs() {
+		t.Errorf("q2 = %v", q2)
+	}
+}
+
+func TestParsePaperAssignSyntax(t *testing.T) {
+	// The paper writes ":=" for rules.
+	q := MustParse("ans(x,y) := R(x,y), S(y,'c'), x != y, y != 'c'")
+	if len(q.Atoms) != 2 || len(q.Diseqs) != 2 {
+		t.Errorf("q = %v", q)
+	}
+	if got := q.Consts(); len(got) != 1 || got[0] != "c" {
+		t.Errorf("Consts = %v", got)
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	q := MustParse(`ans(x) :- R(x,'a'), S(x,"b"), T(x,42)`)
+	want := []Arg{C("a"), C("b"), C("42")}
+	got := []Arg{q.Atoms[0].Args[1], q.Atoms[1].Args[1], q.Atoms[2].Args[1]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("const %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseBooleanQuery(t *testing.T) {
+	q := MustParse("ans() :- R(x,y), R(y,z), x != z")
+	if !q.IsBoolean() {
+		t.Error("query should be boolean")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"ans(x) :- R(x,y), R(y,x), x != y",
+		"ans(x) :- R(x,x)",
+		"ans() :- R(x,y), R(y,z), x != z",
+		"ans(x,'a') :- R(x,'a'), x != 'a'",
+		"ans() :- R(x), S(x,y,z), x != y, x != z, y != z",
+	}
+	for _, in := range cases {
+		q := MustParse(in)
+		q2 := MustParse(q.String())
+		if !q.Equal(q2) {
+			t.Errorf("round trip %q: got %q", in, q2.String())
+		}
+	}
+}
+
+func TestParseUnionFig1(t *testing.T) {
+	u := MustParseUnion(`
+		# Qunion from Figure 1
+		ans(x) :- R(x,y), R(y,x), x != y
+		ans(x) :- R(x,x)
+	`)
+	if len(u.Adjuncts) != 2 {
+		t.Fatalf("adjuncts = %d", len(u.Adjuncts))
+	}
+	if u.IsBoolean() {
+		t.Error("Qunion is not boolean")
+	}
+}
+
+func TestParseUnionSemicolons(t *testing.T) {
+	u := MustParseUnion("ans(x) :- R(x,x); ans(x) :- S(x)")
+	if len(u.Adjuncts) != 2 {
+		t.Fatalf("adjuncts = %d", len(u.Adjuncts))
+	}
+}
+
+func TestParseUnionHeadMismatch(t *testing.T) {
+	if _, err := ParseUnion("ans(x) :- R(x,x)\nout(x) :- S(x)"); err == nil {
+		t.Error("mismatched head relations should fail")
+	}
+	if _, err := ParseUnion("ans(x) :- R(x,x)\nans(x,y) :- S(x,y)"); err == nil {
+		t.Error("mismatched head arities should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"ans(x)",                     // no body separator
+		"ans(x) :- ",                 // empty body is a missing atom
+		"ans(x) :- R(x",              // unterminated atom
+		"ans(x) :- R(x,y) S(y)",      // missing comma
+		"ans(x) :- R(x,'a",           // unterminated constant
+		"ans(y) :- R(x,x)",           // unsafe head variable
+		"ans(x) :- R(x,x), y != x",   // wait: y appears only in diseq -> invalid
+		"ans(x) :- R(x,y), ans(y,x)", // head relation in body
+		"ans(x) :- R(x), R(x,x)",     // arity mismatch
+		"ans(x) :- 1R(x)",            // bad identifier
+		"ans(x) :- R(x,y), x != ",    // dangling diseq
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseDiseqNormalization(t *testing.T) {
+	a := MustParse("ans() :- R(x,y), y != x")
+	b := MustParse("ans() :- R(x,y), x != y")
+	if !a.Equal(b) {
+		t.Errorf("normalized diseqs should agree: %v vs %v", a, b)
+	}
+	c := MustParse("ans() :- R(x), 'a' != x")
+	if c.Diseqs[0].Left != V("x") || c.Diseqs[0].Right != C("a") {
+		t.Errorf("const-left diseq should normalize: %v", c.Diseqs[0])
+	}
+}
+
+func TestParseDiseqDedup(t *testing.T) {
+	q := MustParse("ans() :- R(x,y), x != y, y != x, x != y")
+	if len(q.Diseqs) != 1 {
+		t.Errorf("diseqs = %v", q.Diseqs)
+	}
+}
+
+func TestParseUnionComments(t *testing.T) {
+	u := MustParseUnion("-- comment\nans(x) :- R(x,x)\n# another\n")
+	if len(u.Adjuncts) != 1 {
+		t.Errorf("adjuncts = %d", len(u.Adjuncts))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := MustParse("ans(x,'a') :- R(x,'a'), x != 'a'")
+	s := q.String()
+	if !strings.Contains(s, "ans(x,'a')") || !strings.Contains(s, "x != 'a'") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,141 @@
+package query
+
+import "fmt"
+
+// Validate checks the well-formedness conditions of Def. 2.1:
+//   - every distinguished (head) variable occurs in a relational atom;
+//   - every variable in a disequality occurs in a relational atom;
+//   - all atoms of the same relation have the same arity;
+//   - the head relation does not occur in the body.
+func (q *CQ) Validate() error {
+	for _, at := range q.Atoms {
+		if at.Rel == q.Head.Rel {
+			return fmt.Errorf("head relation %s must not occur in the body", at.Rel)
+		}
+	}
+	return q.ValidateSafety()
+}
+
+// ValidateSafety checks Validate's conditions except the head-relation rule,
+// which Datalog programs (package datalog) relax: rules over intensional
+// predicates may mention other rules' head relations in their bodies, with
+// recursion rejected at the program level instead.
+func (q *CQ) ValidateSafety() error {
+	bodyVars := map[string]bool{}
+	arity := map[string]int{}
+	for _, at := range q.Atoms {
+		if n, ok := arity[at.Rel]; ok && n != len(at.Args) {
+			return fmt.Errorf("relation %s used with arities %d and %d", at.Rel, n, len(at.Args))
+		}
+		arity[at.Rel] = len(at.Args)
+		for _, a := range at.Args {
+			if !a.Const {
+				bodyVars[a.Name] = true
+			}
+		}
+	}
+	for _, a := range q.Head.Args {
+		if !a.Const && !bodyVars[a.Name] {
+			return fmt.Errorf("head variable %s does not occur in the body", a.Name)
+		}
+	}
+	for _, d := range q.Diseqs {
+		if d.Left.Const && d.Right.Const {
+			continue // constant != constant is statically decided; allowed as input
+		}
+		for _, side := range []Arg{d.Left, d.Right} {
+			if !side.Const && !bodyVars[side.Name] {
+				return fmt.Errorf("disequality variable %s does not occur in a relational atom", side.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks every adjunct and head compatibility across the union.
+func (u *UCQ) Validate() error {
+	if len(u.Adjuncts) == 0 {
+		return fmt.Errorf("union has no adjuncts")
+	}
+	h := u.Adjuncts[0].Head
+	arity := map[string]int{}
+	for i, q := range u.Adjuncts {
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("adjunct %d: %w", i, err)
+		}
+		if q.Head.Rel != h.Rel || len(q.Head.Args) != len(h.Args) {
+			return fmt.Errorf("adjunct %d head %s incompatible with %s", i, q.Head, h)
+		}
+		for _, at := range q.Atoms {
+			if n, ok := arity[at.Rel]; ok && n != len(at.Args) {
+				return fmt.Errorf("relation %s used with arities %d and %d across adjuncts", at.Rel, n, len(at.Args))
+			}
+			arity[at.Rel] = len(at.Args)
+		}
+	}
+	return nil
+}
+
+// Class identifies the syntactic query class of the paper's Table 1.
+type Class int
+
+const (
+	// ClassCQ is the class of conjunctive queries without disequalities.
+	ClassCQ Class = iota
+	// ClassCQNeq is CQ≠: conjunctive queries with disequalities.
+	ClassCQNeq
+	// ClassCCQNeq is cCQ≠: complete conjunctive queries with disequalities.
+	ClassCCQNeq
+	// ClassUCQNeq is UCQ≠: unions of conjunctive queries with disequalities.
+	ClassUCQNeq
+	// ClassCUCQNeq is cUCQ≠: unions of complete conjunctive queries.
+	ClassCUCQNeq
+)
+
+// String names the class as in the paper.
+func (c Class) String() string {
+	switch c {
+	case ClassCQ:
+		return "CQ"
+	case ClassCQNeq:
+		return "CQ!="
+	case ClassCCQNeq:
+		return "cCQ!="
+	case ClassUCQNeq:
+		return "UCQ!="
+	case ClassCUCQNeq:
+		return "cUCQ!="
+	}
+	return "unknown"
+}
+
+// ClassOf returns the most specific class of a single conjunctive query.
+func ClassOf(q *CQ) Class {
+	if !q.HasDiseqs() {
+		return ClassCQ
+	}
+	if q.IsComplete() {
+		return ClassCCQNeq
+	}
+	return ClassCQNeq
+}
+
+// ClassOfUnion returns the most specific class of a union: a singleton union
+// reports its adjunct's class; otherwise cUCQ≠ when all adjuncts are
+// complete, else UCQ≠.
+func ClassOfUnion(u *UCQ) Class {
+	if len(u.Adjuncts) == 1 {
+		return ClassOf(u.Adjuncts[0])
+	}
+	allComplete := true
+	for _, q := range u.Adjuncts {
+		if !q.IsComplete() {
+			allComplete = false
+			break
+		}
+	}
+	if allComplete {
+		return ClassCUCQNeq
+	}
+	return ClassUCQNeq
+}

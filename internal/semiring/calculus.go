@@ -1,0 +1,114 @@
+package semiring
+
+// Derivative returns the formal partial derivative ∂p/∂v of the provenance
+// polynomial with respect to the annotation variable v. In provenance
+// terms, Green et al. relate derivatives to incremental view maintenance:
+// the derivative collects (with multiplicity) the ways the remaining tuples
+// combine with one occurrence of v, quantifying the sensitivity of the
+// output to v's multiplicity.
+func Derivative(p Polynomial, v string) Polynomial {
+	out := Polynomial{}
+	for _, t := range p.Terms() {
+		e := t.Monomial.Exponent(v)
+		if e == 0 {
+			continue
+		}
+		exp := map[string]int{}
+		for _, tm := range t.Monomial.Terms() {
+			exp[tm.Var] = tm.Exp
+		}
+		exp[v] = e - 1
+		out = out.AddMonomial(monomialFromMap(exp), t.Coef*e)
+	}
+	return out
+}
+
+// DependsOn reports whether any monomial of p mentions v, i.e. whether the
+// output tuple's annotation is sensitive to the input tuple tagged v at all.
+func DependsOn(p Polynomial, v string) bool {
+	for _, t := range p.Terms() {
+		if t.Monomial.Exponent(v) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Restrict sets variable v to zero: every monomial mentioning v is dropped.
+// This is the polynomial-level effect of deleting the input tuple tagged v.
+func Restrict(p Polynomial, v string) Polynomial {
+	out := Polynomial{}
+	for _, t := range p.Terms() {
+		if t.Monomial.Exponent(v) == 0 {
+			out = out.AddMonomial(t.Monomial, t.Coef)
+		}
+	}
+	return out
+}
+
+// AccessLevel is a clearance in the access-control semiring of Foster,
+// Green & Tannen: the annotation of an output tuple is the minimum
+// clearance needed to see some derivation of it.
+type AccessLevel int
+
+// Clearances, ordered from most permissive to most restrictive. LevelNone
+// (0, the semiring's zero) means "no clearance suffices" (underivable).
+const (
+	LevelPublic AccessLevel = iota + 1
+	LevelConfidential
+	LevelSecret
+	LevelTopSecret
+	LevelNone AccessLevel = 0
+)
+
+// String names the level.
+func (l AccessLevel) String() string {
+	switch l {
+	case LevelPublic:
+		return "public"
+	case LevelConfidential:
+		return "confidential"
+	case LevelSecret:
+		return "secret"
+	case LevelTopSecret:
+		return "top-secret"
+	}
+	return "none"
+}
+
+// Access is the access-control semiring: addition picks the more permissive
+// (lower) requirement among derivations, multiplication the more restrictive
+// (higher) requirement among joined tuples. Zero is LevelNone, one is
+// LevelPublic.
+type Access struct{}
+
+// Zero returns LevelNone (underivable).
+func (Access) Zero() AccessLevel { return LevelNone }
+
+// One returns LevelPublic (no restriction).
+func (Access) One() AccessLevel { return LevelPublic }
+
+// Add picks the more permissive derivation.
+func (Access) Add(a, b AccessLevel) AccessLevel {
+	if a == LevelNone {
+		return b
+	}
+	if b == LevelNone {
+		return a
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul picks the more restrictive requirement.
+func (Access) Mul(a, b AccessLevel) AccessLevel {
+	if a == LevelNone || b == LevelNone {
+		return LevelNone
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package semiring_test
+
+import (
+	"fmt"
+
+	"provmin/internal/semiring"
+)
+
+func ExamplePolynomial_String() {
+	p := semiring.MustParsePolynomial("s1*s1*s2 + s3 + s3")
+	fmt.Println(p)                  // compact form
+	fmt.Println(p.ExpandedString()) // the paper's expanded form
+	// Output:
+	// 2*s3 + s1^2*s2
+	// s3 + s3 + s1*s1*s2
+}
+
+func ExampleEval() {
+	// The factorization property: one polynomial, many semirings.
+	p := semiring.MustParsePolynomial("s1*s2 + s3")
+	count := semiring.Eval[int](p, semiring.Counting{}, func(string) int { return 1 })
+	derivable := semiring.Eval[bool](p, semiring.Boolean{}, func(v string) bool { return v != "s3" })
+	cost := semiring.Eval[float64](p, semiring.Tropical{}, func(v string) float64 {
+		return map[string]float64{"s1": 1, "s2": 2, "s3": 10}[v]
+	})
+	fmt.Println(count, derivable, cost)
+	// Output:
+	// 2 true 3
+}
+
+func ExampleWhy() {
+	p := semiring.MustParsePolynomial("2*s1^2*s2 + s1*s2 + s3")
+	fmt.Println(semiring.Why(p))
+	fmt.Println(semiring.Trio(p))
+	// Output:
+	// { {s3}, {s1,s2} }
+	// s3 + 3*s1*s2
+}
+
+func ExampleMonomial_Divides() {
+	// The order relation on monomials is multiset inclusion (Def. 2.15).
+	m := semiring.NewMonomial("x", "y")
+	n := semiring.NewMonomial("x", "y", "y")
+	fmt.Println(m.Divides(n), n.Divides(m))
+	// Output:
+	// true false
+}
+
+func ExampleDerivative() {
+	p := semiring.MustParsePolynomial("x*y^2 + 2*z")
+	fmt.Println(semiring.Derivative(p, "y"))
+	// Output:
+	// 2*x*y
+}

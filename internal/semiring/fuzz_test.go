@@ -1,0 +1,36 @@
+package semiring
+
+import "testing"
+
+// FuzzParsePolynomial checks the polynomial parser never panics and that
+// accepted inputs round-trip through the canonical printer.
+func FuzzParsePolynomial(f *testing.F) {
+	seeds := []string{
+		"0", "1", "s1", "2*s1^2*s2 + s3", "x*y^2 + 2*z",
+		"s1*s1*s2 + s3 + s3", " 2 * s1 ^ 2 + s2 ", "0*s1 + s2",
+		"", "+", "^2", "s1 s2", "9999999*s1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePolynomial(input)
+		if err != nil {
+			return
+		}
+		q, err := ParsePolynomial(p.String())
+		if err != nil {
+			t.Fatalf("round trip parse failed for %q -> %q: %v", input, p.String(), err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip not equal: %v vs %v", p, q)
+		}
+		// The expanded form must agree as well (when it stays reasonable).
+		if p.NumOccurrences() < 100 && p.Size() < 1000 {
+			e, err := ParsePolynomial(p.ExpandedString())
+			if err != nil || !e.Equal(p) {
+				t.Fatalf("expanded round trip failed: %v (%v)", p, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,273 @@
+// Package semiring implements the provenance semiring N[X] of Green,
+// Karvounarakis and Tannen ("Provenance semirings", PODS 2007), which the
+// paper "On Provenance Minimization" (PODS 2011) uses as its provenance
+// model, together with a generic commutative-semiring interface and the
+// standard coarser provenance models (Why, Trio/lineage, PosBool, counting,
+// tropical) obtained by specializing polynomials.
+//
+// A Monomial is a finite multiset of annotation variables (a product such as
+// s1·s1·s2, compactly s1²·s2). A Polynomial is a finite multiset of
+// monomials with natural-number coefficients. Both are immutable value
+// types with canonical internal representations, so equality of the
+// representations coincides with semantic equality.
+package semiring
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Term is one variable raised to a positive power inside a monomial.
+type Term struct {
+	Var string // annotation variable name, e.g. "s1"
+	Exp int    // exponent, always >= 1 in a canonical monomial
+}
+
+// Monomial is a product of annotation variables with positive integer
+// exponents. The zero value is the empty monomial, i.e. the multiplicative
+// unit 1. Monomials are immutable: all methods return new values.
+type Monomial struct {
+	terms []Term // sorted by Var, exponents >= 1, no duplicate vars
+}
+
+// One is the multiplicative unit monomial (the empty product).
+var One = Monomial{}
+
+// NewMonomial builds a monomial from a list of variable occurrences.
+// Repeated names accumulate exponents: NewMonomial("s1","s2","s1") is s1²·s2.
+func NewMonomial(vars ...string) Monomial {
+	if len(vars) == 0 {
+		return Monomial{}
+	}
+	exp := make(map[string]int, len(vars))
+	for _, v := range vars {
+		exp[v]++
+	}
+	return monomialFromMap(exp)
+}
+
+// MonomialFromExponents builds a monomial from an exponent map. Entries with
+// non-positive exponents are ignored.
+func MonomialFromExponents(exp map[string]int) Monomial {
+	return monomialFromMap(exp)
+}
+
+func monomialFromMap(exp map[string]int) Monomial {
+	terms := make([]Term, 0, len(exp))
+	for v, e := range exp {
+		if e > 0 {
+			terms = append(terms, Term{Var: v, Exp: e})
+		}
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+	return Monomial{terms: terms}
+}
+
+// Terms returns the canonical (Var, Exp) sequence, sorted by variable name.
+// The returned slice must not be modified.
+func (m Monomial) Terms() []Term { return m.terms }
+
+// IsOne reports whether m is the empty product.
+func (m Monomial) IsOne() bool { return len(m.terms) == 0 }
+
+// Degree returns the total degree (number of variable occurrences counted
+// with multiplicity). The paper calls this the monomial's size.
+func (m Monomial) Degree() int {
+	d := 0
+	for _, t := range m.terms {
+		d += t.Exp
+	}
+	return d
+}
+
+// NumVars returns the number of distinct variables.
+func (m Monomial) NumVars() int { return len(m.terms) }
+
+// Exponent returns the exponent of v in m (0 if absent).
+func (m Monomial) Exponent(v string) int {
+	i := sort.Search(len(m.terms), func(i int) bool { return m.terms[i].Var >= v })
+	if i < len(m.terms) && m.terms[i].Var == v {
+		return m.terms[i].Exp
+	}
+	return 0
+}
+
+// Vars returns the distinct variable names in sorted order.
+func (m Monomial) Vars() []string {
+	vs := make([]string, len(m.terms))
+	for i, t := range m.terms {
+		vs[i] = t.Var
+	}
+	return vs
+}
+
+// Occurrences expands the monomial into the sorted list of variable
+// occurrences with multiplicity, e.g. s1²·s2 -> [s1 s1 s2]. This is the
+// "expanded form" the paper uses so that monomials correspond one-to-one
+// with assignments.
+func (m Monomial) Occurrences() []string {
+	out := make([]string, 0, m.Degree())
+	for _, t := range m.terms {
+		for i := 0; i < t.Exp; i++ {
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Mul returns the product m·n.
+func (m Monomial) Mul(n Monomial) Monomial {
+	if m.IsOne() {
+		return n
+	}
+	if n.IsOne() {
+		return m
+	}
+	out := make([]Term, 0, len(m.terms)+len(n.terms))
+	i, j := 0, 0
+	for i < len(m.terms) && j < len(n.terms) {
+		switch {
+		case m.terms[i].Var < n.terms[j].Var:
+			out = append(out, m.terms[i])
+			i++
+		case m.terms[i].Var > n.terms[j].Var:
+			out = append(out, n.terms[j])
+			j++
+		default:
+			out = append(out, Term{Var: m.terms[i].Var, Exp: m.terms[i].Exp + n.terms[j].Exp})
+			i++
+			j++
+		}
+	}
+	out = append(out, m.terms[i:]...)
+	out = append(out, n.terms[j:]...)
+	return Monomial{terms: out}
+}
+
+// MulVar returns m multiplied by a single variable occurrence.
+func (m Monomial) MulVar(v string) Monomial {
+	return m.Mul(NewMonomial(v))
+}
+
+// Support returns the monomial obtained by dropping exponents (every
+// exponent becomes 1). Step II of direct minimization (Lemma 5.3) replaces
+// each monomial by its support.
+func (m Monomial) Support() Monomial {
+	terms := make([]Term, len(m.terms))
+	for i, t := range m.terms {
+		terms[i] = Term{Var: t.Var, Exp: 1}
+	}
+	return Monomial{terms: terms}
+}
+
+// IsSupport reports whether every exponent equals 1.
+func (m Monomial) IsSupport() bool {
+	for _, t := range m.terms {
+		if t.Exp != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports semantic equality (identical canonical representations).
+func (m Monomial) Equal(n Monomial) bool {
+	if len(m.terms) != len(n.terms) {
+		return false
+	}
+	for i := range m.terms {
+		if m.terms[i] != n.terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Divides reports whether m divides n as a multiset, i.e. every variable of
+// m occurs in n with at least the same exponent. This is exactly the
+// paper's order relation on monomials (Def. 2.15): m ≤ n iff there is an
+// injective mapping of the occurrences of m into the occurrences of n with
+// equal variables, which for multisets is multiset inclusion.
+func (m Monomial) Divides(n Monomial) bool {
+	j := 0
+	for _, t := range m.terms {
+		for j < len(n.terms) && n.terms[j].Var < t.Var {
+			j++
+		}
+		if j >= len(n.terms) || n.terms[j].Var != t.Var || n.terms[j].Exp < t.Exp {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperlyDivides reports m ≤ n and m ≠ n.
+func (m Monomial) ProperlyDivides(n Monomial) bool {
+	return m.Divides(n) && !m.Equal(n)
+}
+
+// Compare gives a total order over monomials used for canonical polynomial
+// layout: first by total degree, then lexicographically by the canonical
+// term sequence. Returns -1, 0 or 1.
+func (m Monomial) Compare(n Monomial) int {
+	if d, e := m.Degree(), n.Degree(); d != e {
+		if d < e {
+			return -1
+		}
+		return 1
+	}
+	for i := 0; i < len(m.terms) && i < len(n.terms); i++ {
+		if m.terms[i].Var != n.terms[i].Var {
+			if m.terms[i].Var < n.terms[i].Var {
+				return -1
+			}
+			return 1
+		}
+		if m.terms[i].Exp != n.terms[i].Exp {
+			if m.terms[i].Exp < n.terms[i].Exp {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(m.terms) < len(n.terms):
+		return -1
+	case len(m.terms) > len(n.terms):
+		return 1
+	}
+	return 0
+}
+
+// Key returns a canonical string key suitable for map indexing.
+func (m Monomial) Key() string { return m.String() }
+
+// String renders the monomial in compact form, e.g. "s1^2*s2". The unit
+// monomial renders as "1".
+func (m Monomial) String() string {
+	if len(m.terms) == 0 {
+		return "1"
+	}
+	var b strings.Builder
+	for i, t := range m.terms {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		b.WriteString(t.Var)
+		if t.Exp > 1 {
+			b.WriteByte('^')
+			b.WriteString(strconv.Itoa(t.Exp))
+		}
+	}
+	return b.String()
+}
+
+// ExpandedString renders the monomial in the paper's expanded form with all
+// exponents written out, e.g. "s1*s1*s2".
+func (m Monomial) ExpandedString() string {
+	if len(m.terms) == 0 {
+		return "1"
+	}
+	return strings.Join(m.Occurrences(), "*")
+}

@@ -1,0 +1,176 @@
+package semiring
+
+import (
+	"testing"
+)
+
+func TestNewMonomialCanonical(t *testing.T) {
+	m := NewMonomial("s2", "s1", "s2")
+	want := []Term{{"s1", 1}, {"s2", 2}}
+	got := m.Terms()
+	if len(got) != len(want) {
+		t.Fatalf("terms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("term[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMonomialOne(t *testing.T) {
+	if !One.IsOne() {
+		t.Error("One.IsOne() = false")
+	}
+	if One.Degree() != 0 {
+		t.Errorf("One.Degree() = %d, want 0", One.Degree())
+	}
+	if One.String() != "1" {
+		t.Errorf("One.String() = %q, want \"1\"", One.String())
+	}
+	if got := NewMonomial(); !got.IsOne() {
+		t.Error("NewMonomial() should be the unit")
+	}
+}
+
+func TestMonomialDegreeAndVars(t *testing.T) {
+	m := NewMonomial("s1", "s1", "s2", "s3")
+	if m.Degree() != 4 {
+		t.Errorf("Degree = %d, want 4", m.Degree())
+	}
+	if m.NumVars() != 3 {
+		t.Errorf("NumVars = %d, want 3", m.NumVars())
+	}
+	if got := m.Exponent("s1"); got != 2 {
+		t.Errorf("Exponent(s1) = %d, want 2", got)
+	}
+	if got := m.Exponent("s9"); got != 0 {
+		t.Errorf("Exponent(s9) = %d, want 0", got)
+	}
+	vars := m.Vars()
+	if len(vars) != 3 || vars[0] != "s1" || vars[1] != "s2" || vars[2] != "s3" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestMonomialMul(t *testing.T) {
+	a := NewMonomial("s1", "s2")
+	b := NewMonomial("s2", "s3")
+	got := a.Mul(b)
+	want := NewMonomial("s1", "s2", "s2", "s3")
+	if !got.Equal(want) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+	if !a.Mul(One).Equal(a) || !One.Mul(a).Equal(a) {
+		t.Error("multiplication by One must be identity")
+	}
+}
+
+func TestMonomialMulCommutes(t *testing.T) {
+	a := NewMonomial("x", "y", "y")
+	b := NewMonomial("y", "z")
+	if !a.Mul(b).Equal(b.Mul(a)) {
+		t.Error("Mul must commute")
+	}
+}
+
+func TestMonomialSupport(t *testing.T) {
+	m := NewMonomial("s1", "s1", "s2")
+	s := m.Support()
+	if !s.Equal(NewMonomial("s1", "s2")) {
+		t.Errorf("Support = %v", s)
+	}
+	if !s.IsSupport() {
+		t.Error("Support result must be a support monomial")
+	}
+	if m.IsSupport() {
+		t.Error("s1^2*s2 is not a support monomial")
+	}
+}
+
+func TestMonomialDivides(t *testing.T) {
+	cases := []struct {
+		m, n []string
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []string{"s1"}, true},
+		{[]string{"s1"}, nil, false},
+		{[]string{"s1"}, []string{"s1"}, true},
+		{[]string{"s1"}, []string{"s1", "s1"}, true},
+		{[]string{"s1", "s1"}, []string{"s1"}, false},
+		{[]string{"s1", "s2"}, []string{"s1", "s2", "s3"}, true},
+		{[]string{"s1", "s3"}, []string{"s1", "s2"}, false},
+		// paper Example 2.16 building block: s3 divides s2*s3
+		{[]string{"s3"}, []string{"s2", "s3"}, true},
+		// and s3*s4 does not divide s1*s2
+		{[]string{"s3", "s4"}, []string{"s1", "s2"}, false},
+	}
+	for _, c := range cases {
+		m, n := NewMonomial(c.m...), NewMonomial(c.n...)
+		if got := m.Divides(n); got != c.want {
+			t.Errorf("%v.Divides(%v) = %v, want %v", m, n, got, c.want)
+		}
+	}
+}
+
+func TestMonomialProperlyDivides(t *testing.T) {
+	a := NewMonomial("s1")
+	b := NewMonomial("s1", "s2")
+	if !a.ProperlyDivides(b) {
+		t.Error("s1 should properly divide s1*s2")
+	}
+	if a.ProperlyDivides(a) {
+		t.Error("a monomial must not properly divide itself")
+	}
+}
+
+func TestMonomialCompareTotalOrder(t *testing.T) {
+	ms := []Monomial{
+		One,
+		NewMonomial("s1"),
+		NewMonomial("s2"),
+		NewMonomial("s1", "s2"),
+		NewMonomial("s1", "s1"),
+		NewMonomial("s1", "s1", "s2"),
+	}
+	for i := range ms {
+		for j := range ms {
+			c := ms[i].Compare(ms[j])
+			switch {
+			case i == j && c != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", ms[i], ms[j], c)
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", ms[i], ms[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", ms[i], ms[j], c)
+			}
+		}
+	}
+}
+
+func TestMonomialString(t *testing.T) {
+	m := NewMonomial("s1", "s1", "s2")
+	if got := m.String(); got != "s1^2*s2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := m.ExpandedString(); got != "s1*s1*s2" {
+		t.Errorf("ExpandedString = %q", got)
+	}
+}
+
+func TestMonomialOccurrences(t *testing.T) {
+	m := NewMonomial("b", "a", "b")
+	occ := m.Occurrences()
+	if len(occ) != 3 || occ[0] != "a" || occ[1] != "b" || occ[2] != "b" {
+		t.Errorf("Occurrences = %v", occ)
+	}
+}
+
+func TestMonomialFromExponents(t *testing.T) {
+	m := MonomialFromExponents(map[string]int{"x": 2, "y": 0, "z": -1, "w": 1})
+	want := NewMonomial("x", "x", "w")
+	if !m.Equal(want) {
+		t.Errorf("MonomialFromExponents = %v, want %v", m, want)
+	}
+}

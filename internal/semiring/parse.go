@@ -1,0 +1,147 @@
+package semiring
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParsePolynomial parses the textual polynomial syntax produced by
+// Polynomial.String and Polynomial.ExpandedString:
+//
+//	poly  := term ('+' term)*
+//	term  := coef | coef '*' mono | mono
+//	mono  := factor ('*' factor)*
+//	factor:= var | var '^' exp
+//	var   := letter (letter|digit|'_')*
+//
+// Whitespace is insignificant. "0" denotes the zero polynomial and "1" the
+// unit monomial. This is the input format of `provmin core -poly`.
+func ParsePolynomial(s string) (Polynomial, error) {
+	p := &polyParser{in: s}
+	poly, err := p.parse()
+	if err != nil {
+		return Polynomial{}, fmt.Errorf("parse polynomial %q: %w", s, err)
+	}
+	return poly, nil
+}
+
+// MustParsePolynomial is ParsePolynomial that panics on error; intended for
+// tests and package examples with literal inputs.
+func MustParsePolynomial(s string) Polynomial {
+	p, err := ParsePolynomial(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type polyParser struct {
+	in  string
+	pos int
+}
+
+func (p *polyParser) parse() (Polynomial, error) {
+	poly := Polynomial{}
+	for {
+		coef, m, err := p.parseTerm()
+		if err != nil {
+			return Polynomial{}, err
+		}
+		if coef > 0 {
+			poly = poly.AddMonomial(m, coef)
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			return poly, nil
+		}
+		if p.in[p.pos] != '+' {
+			return Polynomial{}, fmt.Errorf("unexpected %q at offset %d", p.in[p.pos], p.pos)
+		}
+		p.pos++
+	}
+}
+
+func (p *polyParser) parseTerm() (int, Monomial, error) {
+	p.skipSpace()
+	coef := 1
+	sawCoef := false
+	if p.pos < len(p.in) && unicode.IsDigit(rune(p.in[p.pos])) {
+		n, err := p.parseInt()
+		if err != nil {
+			return 0, Monomial{}, err
+		}
+		coef = n
+		sawCoef = true
+	}
+	m := One
+	sawVar := false
+	for {
+		p.skipSpace()
+		if sawCoef || sawVar {
+			if p.pos >= len(p.in) || p.in[p.pos] != '*' {
+				break
+			}
+			p.pos++
+			p.skipSpace()
+		}
+		if p.pos >= len(p.in) || !isVarStart(rune(p.in[p.pos])) {
+			if sawVar || sawCoef {
+				break
+			}
+			return 0, Monomial{}, fmt.Errorf("expected term at offset %d", p.pos)
+		}
+		v := p.parseIdent()
+		exp := 1
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == '^' {
+			p.pos++
+			p.skipSpace()
+			n, err := p.parseInt()
+			if err != nil {
+				return 0, Monomial{}, err
+			}
+			exp = n
+		}
+		m = m.Mul(MonomialFromExponents(map[string]int{v: exp}))
+		sawVar = true
+	}
+	if sawCoef && coef == 0 {
+		return 0, Monomial{}, nil
+	}
+	return coef, m, nil
+}
+
+func (p *polyParser) parseInt() (int, error) {
+	start := p.pos
+	for p.pos < len(p.in) && unicode.IsDigit(rune(p.in[p.pos])) {
+		p.pos++
+	}
+	n, err := strconv.Atoi(p.in[start:p.pos])
+	if err != nil {
+		return 0, fmt.Errorf("bad integer at offset %d: %w", start, err)
+	}
+	return n, nil
+}
+
+func (p *polyParser) parseIdent() string {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := rune(p.in[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *polyParser) skipSpace() {
+	for p.pos < len(p.in) && strings.ContainsRune(" \t\n\r", rune(p.in[p.pos])) {
+		p.pos++
+	}
+}
+
+func isVarStart(c rune) bool { return unicode.IsLetter(c) || c == '_' }

@@ -1,0 +1,71 @@
+package semiring
+
+import "testing"
+
+func TestParsePolynomialRoundTrip(t *testing.T) {
+	cases := []string{
+		"0",
+		"1",
+		"s1",
+		"2*s1",
+		"s1^2",
+		"2*s1^2*s2 + s3",
+		"s1*s2 + s1*s2", // collects to 2*s1*s2
+		"x*y^2 + 2*z",
+	}
+	for _, in := range cases {
+		p, err := ParsePolynomial(in)
+		if err != nil {
+			t.Errorf("ParsePolynomial(%q): %v", in, err)
+			continue
+		}
+		q, err := ParsePolynomial(p.String())
+		if err != nil {
+			t.Errorf("re-parse %q: %v", p.String(), err)
+			continue
+		}
+		if !p.Equal(q) {
+			t.Errorf("round trip %q: %v != %v", in, p, q)
+		}
+	}
+}
+
+func TestParsePolynomialExpandedForm(t *testing.T) {
+	p := MustParsePolynomial("s1*s1*s2 + s3 + s3")
+	want := MustParsePolynomial("s1^2*s2 + 2*s3")
+	if !p.Equal(want) {
+		t.Errorf("expanded parse = %v, want %v", p, want)
+	}
+}
+
+func TestParsePolynomialWhitespace(t *testing.T) {
+	p := MustParsePolynomial("  2 * s1 ^ 2  +  s2 ")
+	want := MustParsePolynomial("2*s1^2+s2")
+	if !p.Equal(want) {
+		t.Errorf("whitespace parse = %v, want %v", p, want)
+	}
+}
+
+func TestParsePolynomialZeroCoef(t *testing.T) {
+	p := MustParsePolynomial("0*s1 + s2")
+	want := Var("s2")
+	if !p.Equal(want) {
+		t.Errorf("zero-coef parse = %v, want %v", p, want)
+	}
+}
+
+func TestParsePolynomialErrors(t *testing.T) {
+	bad := []string{"", "+", "s1 +", "s1 ^", "^2", "s1 s2", "* s1", "s1 + + s2"}
+	for _, in := range bad {
+		if _, err := ParsePolynomial(in); err == nil {
+			t.Errorf("ParsePolynomial(%q) should fail", in)
+		}
+	}
+}
+
+func TestParsePolynomialUnderscoreNames(t *testing.T) {
+	p := MustParsePolynomial("tup_1*tup_2")
+	if p.NumMonomials() != 1 || !p.Monomials()[0].Equal(NewMonomial("tup_1", "tup_2")) {
+		t.Errorf("parse = %v", p)
+	}
+}

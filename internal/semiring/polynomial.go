@@ -1,0 +1,285 @@
+package semiring
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MonomialTerm is one monomial together with its coefficient (number of
+// occurrences of the monomial, i.e. number of assignments that yielded it).
+type MonomialTerm struct {
+	Monomial Monomial
+	Coef     int // always >= 1 in a canonical polynomial
+}
+
+// Polynomial is an element of the provenance semiring N[X]: a finite
+// multiset of monomials represented as coefficient-tagged canonical terms.
+// The zero value is the zero polynomial. Polynomials are immutable value
+// types; all operations return new polynomials.
+type Polynomial struct {
+	terms []MonomialTerm // sorted by Monomial.Compare, coefficients >= 1
+}
+
+// Zero is the additive unit of N[X].
+var Zero = Polynomial{}
+
+// OnePoly returns the multiplicative unit polynomial (the monomial 1 with
+// coefficient 1).
+func OnePoly() Polynomial {
+	return Polynomial{terms: []MonomialTerm{{Monomial: One, Coef: 1}}}
+}
+
+// Var returns the polynomial consisting of the single variable v.
+func Var(v string) Polynomial {
+	return FromMonomial(NewMonomial(v), 1)
+}
+
+// FromMonomial returns coef·m as a polynomial. A non-positive coefficient
+// yields the zero polynomial.
+func FromMonomial(m Monomial, coef int) Polynomial {
+	if coef <= 0 {
+		return Polynomial{}
+	}
+	return Polynomial{terms: []MonomialTerm{{Monomial: m, Coef: coef}}}
+}
+
+// FromMonomials sums a list of monomial occurrences (each contributing
+// coefficient 1), the way Def. 2.12 accumulates one monomial per assignment.
+func FromMonomials(ms []Monomial) Polynomial {
+	p := Polynomial{}
+	for _, m := range ms {
+		p = p.AddMonomial(m, 1)
+	}
+	return p
+}
+
+// Terms returns the canonical term sequence. The slice must not be modified.
+func (p Polynomial) Terms() []MonomialTerm { return p.terms }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Polynomial) IsZero() bool { return len(p.terms) == 0 }
+
+// NumMonomials returns the number of distinct monomials.
+func (p Polynomial) NumMonomials() int { return len(p.terms) }
+
+// NumOccurrences returns the total number of monomial occurrences (the sum
+// of coefficients); under Def. 2.12 this equals the number of assignments.
+func (p Polynomial) NumOccurrences() int {
+	n := 0
+	for _, t := range p.terms {
+		n += t.Coef
+	}
+	return n
+}
+
+// Size returns the total number of variable occurrences across all monomial
+// occurrences (degree-weighted); a natural measure of provenance size used
+// by the compactness experiments.
+func (p Polynomial) Size() int {
+	n := 0
+	for _, t := range p.terms {
+		n += t.Coef * t.Monomial.Degree()
+	}
+	return n
+}
+
+// Coefficient returns the coefficient of monomial m in p (0 if absent).
+func (p Polynomial) Coefficient(m Monomial) int {
+	i := sort.Search(len(p.terms), func(i int) bool { return p.terms[i].Monomial.Compare(m) >= 0 })
+	if i < len(p.terms) && p.terms[i].Monomial.Equal(m) {
+		return p.terms[i].Coef
+	}
+	return 0
+}
+
+// Monomials returns the distinct monomials in canonical order.
+func (p Polynomial) Monomials() []Monomial {
+	out := make([]Monomial, len(p.terms))
+	for i, t := range p.terms {
+		out[i] = t.Monomial
+	}
+	return out
+}
+
+// MonomialOccurrences expands p into the list of monomial occurrences with
+// multiplicity, matching the paper's expanded form where each monomial
+// occurrence corresponds to one assignment.
+func (p Polynomial) MonomialOccurrences() []Monomial {
+	out := make([]Monomial, 0, p.NumOccurrences())
+	for _, t := range p.terms {
+		for i := 0; i < t.Coef; i++ {
+			out = append(out, t.Monomial)
+		}
+	}
+	return out
+}
+
+// Vars returns the sorted set of annotation variables appearing in p.
+func (p Polynomial) Vars() []string {
+	seen := map[string]bool{}
+	for _, t := range p.terms {
+		for _, tm := range t.Monomial.Terms() {
+			seen[tm.Var] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the maximum monomial degree (0 for the zero polynomial).
+func (p Polynomial) Degree() int {
+	d := 0
+	for _, t := range p.terms {
+		if t.Monomial.Degree() > d {
+			d = t.Monomial.Degree()
+		}
+	}
+	return d
+}
+
+// AddMonomial returns p + coef·m.
+func (p Polynomial) AddMonomial(m Monomial, coef int) Polynomial {
+	if coef <= 0 {
+		return p
+	}
+	i := sort.Search(len(p.terms), func(i int) bool { return p.terms[i].Monomial.Compare(m) >= 0 })
+	out := make([]MonomialTerm, 0, len(p.terms)+1)
+	out = append(out, p.terms[:i]...)
+	if i < len(p.terms) && p.terms[i].Monomial.Equal(m) {
+		out = append(out, MonomialTerm{Monomial: m, Coef: p.terms[i].Coef + coef})
+		out = append(out, p.terms[i+1:]...)
+	} else {
+		out = append(out, MonomialTerm{Monomial: m, Coef: coef})
+		out = append(out, p.terms[i:]...)
+	}
+	return Polynomial{terms: out}
+}
+
+// Add returns p + q.
+func (p Polynomial) Add(q Polynomial) Polynomial {
+	if p.IsZero() {
+		return q
+	}
+	if q.IsZero() {
+		return p
+	}
+	out := make([]MonomialTerm, 0, len(p.terms)+len(q.terms))
+	i, j := 0, 0
+	for i < len(p.terms) && j < len(q.terms) {
+		switch c := p.terms[i].Monomial.Compare(q.terms[j].Monomial); {
+		case c < 0:
+			out = append(out, p.terms[i])
+			i++
+		case c > 0:
+			out = append(out, q.terms[j])
+			j++
+		default:
+			out = append(out, MonomialTerm{Monomial: p.terms[i].Monomial, Coef: p.terms[i].Coef + q.terms[j].Coef})
+			i++
+			j++
+		}
+	}
+	out = append(out, p.terms[i:]...)
+	out = append(out, q.terms[j:]...)
+	return Polynomial{terms: out}
+}
+
+// Mul returns p·q (distributing and collecting like monomials).
+func (p Polynomial) Mul(q Polynomial) Polynomial {
+	if p.IsZero() || q.IsZero() {
+		return Polynomial{}
+	}
+	acc := Polynomial{}
+	for _, a := range p.terms {
+		for _, b := range q.terms {
+			acc = acc.AddMonomial(a.Monomial.Mul(b.Monomial), a.Coef*b.Coef)
+		}
+	}
+	return acc
+}
+
+// Scale returns k·p. Non-positive k yields the zero polynomial.
+func (p Polynomial) Scale(k int) Polynomial {
+	if k <= 0 {
+		return Polynomial{}
+	}
+	if k == 1 {
+		return p
+	}
+	out := make([]MonomialTerm, len(p.terms))
+	for i, t := range p.terms {
+		out[i] = MonomialTerm{Monomial: t.Monomial, Coef: t.Coef * k}
+	}
+	return Polynomial{terms: out}
+}
+
+// Equal reports semantic equality of polynomials.
+func (p Polynomial) Equal(q Polynomial) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for i := range p.terms {
+		if p.terms[i].Coef != q.terms[i].Coef || !p.terms[i].Monomial.Equal(q.terms[i].Monomial) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns the polynomial with every variable v replaced by f(v).
+// Distinct variables may collapse onto one name; the result is
+// re-canonicalized. Used by the general-annotation experiments (§6) where
+// abstract tags are replaced by arbitrary annotations.
+func (p Polynomial) Rename(f func(string) string) Polynomial {
+	out := Polynomial{}
+	for _, t := range p.terms {
+		exp := map[string]int{}
+		for _, tm := range t.Monomial.Terms() {
+			exp[f(tm.Var)] += tm.Exp
+		}
+		out = out.AddMonomial(monomialFromMap(exp), t.Coef)
+	}
+	return out
+}
+
+// String renders the polynomial in compact canonical form, e.g.
+// "2*s1^2*s2 + s3". The zero polynomial renders as "0".
+func (p Polynomial) String() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, t := range p.terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		if t.Coef > 1 {
+			b.WriteString(strconv.Itoa(t.Coef))
+			if !t.Monomial.IsOne() {
+				b.WriteByte('*')
+				b.WriteString(t.Monomial.String())
+			}
+		} else {
+			b.WriteString(t.Monomial.String())
+		}
+	}
+	return b.String()
+}
+
+// ExpandedString renders the polynomial in the paper's fully expanded form
+// with unit coefficients and exponents, e.g. "s1*s1*s2 + s3 + s3".
+func (p Polynomial) ExpandedString() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, 0, p.NumOccurrences())
+	for _, m := range p.MonomialOccurrences() {
+		parts = append(parts, m.ExpandedString())
+	}
+	return strings.Join(parts, " + ")
+}

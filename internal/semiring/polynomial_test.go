@@ -1,0 +1,152 @@
+package semiring
+
+import "testing"
+
+func TestPolynomialZeroAndOne(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+	if Zero.String() != "0" {
+		t.Errorf("Zero.String() = %q", Zero.String())
+	}
+	one := OnePoly()
+	if one.NumMonomials() != 1 || one.Coefficient(One) != 1 {
+		t.Errorf("OnePoly = %v", one)
+	}
+}
+
+func TestPolynomialAddCollects(t *testing.T) {
+	p := Var("s1").Add(Var("s1")).Add(Var("s2"))
+	if p.NumMonomials() != 2 {
+		t.Fatalf("NumMonomials = %d, want 2", p.NumMonomials())
+	}
+	if got := p.Coefficient(NewMonomial("s1")); got != 2 {
+		t.Errorf("coef(s1) = %d, want 2", got)
+	}
+	if got := p.Coefficient(NewMonomial("s2")); got != 1 {
+		t.Errorf("coef(s2) = %d, want 1", got)
+	}
+	if p.NumOccurrences() != 3 {
+		t.Errorf("NumOccurrences = %d, want 3", p.NumOccurrences())
+	}
+}
+
+func TestPolynomialMulDistributes(t *testing.T) {
+	// (s1 + s2) * (s1 + s3) = s1^2 + s1*s3 + s1*s2 + s2*s3
+	p := Var("s1").Add(Var("s2"))
+	q := Var("s1").Add(Var("s3"))
+	got := p.Mul(q)
+	want := FromMonomial(NewMonomial("s1", "s1"), 1).
+		Add(FromMonomial(NewMonomial("s1", "s3"), 1)).
+		Add(FromMonomial(NewMonomial("s1", "s2"), 1)).
+		Add(FromMonomial(NewMonomial("s2", "s3"), 1))
+	if !got.Equal(want) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestPolynomialMulCollectsCoefficients(t *testing.T) {
+	// (s1 + s1) * s2 = 2*s1*s2
+	p := Var("s1").Add(Var("s1"))
+	got := p.Mul(Var("s2"))
+	if got.NumMonomials() != 1 || got.Coefficient(NewMonomial("s1", "s2")) != 2 {
+		t.Errorf("Mul = %v, want 2*s1*s2", got)
+	}
+}
+
+func TestPolynomialMulByZero(t *testing.T) {
+	p := Var("s1").Add(Var("s2"))
+	if !p.Mul(Zero).IsZero() || !Zero.Mul(p).IsZero() {
+		t.Error("multiplying by zero must yield zero")
+	}
+}
+
+func TestPolynomialPaperExample(t *testing.T) {
+	// Introduction example: x*y + y + z + z = x*y^2... actually the paper's
+	// example is xy·y + z + z = xy² + 2z with three derivations.
+	xy := NewMonomial("x", "y")
+	p := FromMonomial(xy.MulVar("y"), 1).Add(Var("z")).Add(Var("z"))
+	if got := p.String(); got != "2*z + x*y^2" {
+		t.Errorf("String = %q", got)
+	}
+	if p.NumOccurrences() != 3 {
+		t.Errorf("derivation count = %d, want 3", p.NumOccurrences())
+	}
+}
+
+func TestPolynomialSizeAndDegree(t *testing.T) {
+	p := MustParsePolynomial("2*s1^2*s2 + s3")
+	if got := p.Size(); got != 7 { // 2 occurrences of degree-3 + 1 of degree-1
+		t.Errorf("Size = %d, want 7", got)
+	}
+	if got := p.Degree(); got != 3 {
+		t.Errorf("Degree = %d, want 3", got)
+	}
+}
+
+func TestPolynomialVars(t *testing.T) {
+	p := MustParsePolynomial("s2*s3 + s1")
+	vars := p.Vars()
+	if len(vars) != 3 || vars[0] != "s1" || vars[1] != "s2" || vars[2] != "s3" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestPolynomialMonomialOccurrences(t *testing.T) {
+	p := MustParsePolynomial("2*s1 + s2")
+	occ := p.MonomialOccurrences()
+	if len(occ) != 3 {
+		t.Fatalf("occurrences = %v", occ)
+	}
+	if !occ[0].Equal(NewMonomial("s1")) || !occ[1].Equal(NewMonomial("s1")) || !occ[2].Equal(NewMonomial("s2")) {
+		t.Errorf("occurrences = %v", occ)
+	}
+}
+
+func TestPolynomialScale(t *testing.T) {
+	p := MustParsePolynomial("s1 + s2")
+	got := p.Scale(3)
+	if got.Coefficient(NewMonomial("s1")) != 3 || got.Coefficient(NewMonomial("s2")) != 3 {
+		t.Errorf("Scale = %v", got)
+	}
+	if !p.Scale(0).IsZero() {
+		t.Error("Scale(0) must be zero")
+	}
+}
+
+func TestPolynomialRenameCollapse(t *testing.T) {
+	// Section 6 scenario: collapse s1 and s2 onto the same annotation s.
+	p := MustParsePolynomial("s1*s2 + s3")
+	got := p.Rename(func(v string) string {
+		if v == "s1" || v == "s2" {
+			return "s"
+		}
+		return v
+	})
+	want := MustParsePolynomial("s^2 + s3")
+	if !got.Equal(want) {
+		t.Errorf("Rename = %v, want %v", got, want)
+	}
+}
+
+func TestPolynomialExpandedString(t *testing.T) {
+	p := MustParsePolynomial("2*s1^2 + s2")
+	if got := p.ExpandedString(); got != "s2 + s1*s1 + s1*s1" {
+		t.Errorf("ExpandedString = %q", got)
+	}
+}
+
+func TestFromMonomials(t *testing.T) {
+	p := FromMonomials([]Monomial{NewMonomial("a"), NewMonomial("a"), NewMonomial("b")})
+	if p.Coefficient(NewMonomial("a")) != 2 || p.Coefficient(NewMonomial("b")) != 1 {
+		t.Errorf("FromMonomials = %v", p)
+	}
+}
+
+func TestPolynomialEqualOrderIndependent(t *testing.T) {
+	p := Var("s1").Add(Var("s2")).Add(FromMonomial(NewMonomial("s1", "s2"), 1))
+	q := FromMonomial(NewMonomial("s1", "s2"), 1).Add(Var("s2")).Add(Var("s1"))
+	if !p.Equal(q) {
+		t.Errorf("addition must be order independent: %v vs %v", p, q)
+	}
+}

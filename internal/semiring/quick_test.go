@@ -1,0 +1,166 @@
+package semiring
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genPoly is a deterministic-ish random polynomial generator over a small
+// variable alphabet, used by the property tests below.
+func genPoly(r *rand.Rand, maxTerms, maxDeg int) Polynomial {
+	vars := []string{"s1", "s2", "s3", "s4"}
+	p := Polynomial{}
+	n := r.Intn(maxTerms + 1)
+	for i := 0; i < n; i++ {
+		deg := r.Intn(maxDeg + 1)
+		occ := make([]string, deg)
+		for j := range occ {
+			occ[j] = vars[r.Intn(len(vars))]
+		}
+		p = p.AddMonomial(NewMonomial(occ...), 1+r.Intn(3))
+	}
+	return p
+}
+
+// quickPoly adapts genPoly to testing/quick's Generator protocol.
+type quickPoly struct{ P Polynomial }
+
+func (quickPoly) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(quickPoly{P: genPoly(r, 4, 3)})
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b quickPoly) bool { return a.P.Add(b.P).Equal(b.P.Add(a.P)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddAssociative(t *testing.T) {
+	f := func(a, b, c quickPoly) bool {
+		return a.P.Add(b.P).Add(c.P).Equal(a.P.Add(b.P.Add(c.P)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(a, b quickPoly) bool { return a.P.Mul(b.P).Equal(b.P.Mul(a.P)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulAssociative(t *testing.T) {
+	f := func(a, b, c quickPoly) bool {
+		return a.P.Mul(b.P).Mul(c.P).Equal(a.P.Mul(b.P.Mul(c.P)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistributivity(t *testing.T) {
+	f := func(a, b, c quickPoly) bool {
+		left := a.P.Mul(b.P.Add(c.P))
+		right := a.P.Mul(b.P).Add(a.P.Mul(c.P))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnits(t *testing.T) {
+	f := func(a quickPoly) bool {
+		return a.P.Add(Zero).Equal(a.P) &&
+			a.P.Mul(OnePoly()).Equal(a.P) &&
+			a.P.Mul(Zero).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(a quickPoly) bool {
+		q, err := ParsePolynomial(a.P.String())
+		return err == nil && q.Equal(a.P)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExpandedStringRoundTrip(t *testing.T) {
+	f := func(a quickPoly) bool {
+		q, err := ParsePolynomial(a.P.ExpandedString())
+		return err == nil && q.Equal(a.P)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEvalIsHomomorphism(t *testing.T) {
+	// Eval under Counting with a fixed valuation must be a semiring
+	// homomorphism: Eval(p+q) = Eval(p)+Eval(q), Eval(p*q) = Eval(p)*Eval(q).
+	val := func(v string) int {
+		switch v {
+		case "s1":
+			return 2
+		case "s2":
+			return 3
+		case "s3":
+			return 5
+		default:
+			return 7
+		}
+	}
+	f := func(a, b quickPoly) bool {
+		ev := func(p Polynomial) int { return Eval[int](p, Counting{}, val) }
+		return ev(a.P.Add(b.P)) == ev(a.P)+ev(b.P) &&
+			ev(a.P.Mul(b.P)) == ev(a.P)*ev(b.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDividesIsPartialOrder(t *testing.T) {
+	genMono := func(r *rand.Rand) Monomial {
+		vars := []string{"s1", "s2", "s3"}
+		deg := r.Intn(4)
+		occ := make([]string, deg)
+		for j := range occ {
+			occ[j] = vars[r.Intn(len(vars))]
+		}
+		return NewMonomial(occ...)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := genMono(r), genMono(r), genMono(r)
+		if !a.Divides(a) {
+			t.Fatalf("reflexivity failed: %v", a)
+		}
+		if a.Divides(b) && b.Divides(a) && !a.Equal(b) {
+			t.Fatalf("antisymmetry failed: %v, %v", a, b)
+		}
+		if a.Divides(b) && b.Divides(c) && !a.Divides(c) {
+			t.Fatalf("transitivity failed: %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+func TestQuickWhyMinimalIdempotent(t *testing.T) {
+	f := func(a quickPoly) bool {
+		m := Why(a.P).Minimal()
+		return m.Minimal().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package semiring
+
+import "sort"
+
+// Semiring is a commutative semiring (K, +, ·, 0, 1). N[X] is the free
+// commutative semiring over X, so any valuation X -> K extends uniquely to
+// a semiring homomorphism N[X] -> K; Eval computes that extension. This is
+// the "factorization property" that makes provenance polynomials the most
+// general annotation model (Green et al. 2007), and it is why the paper's
+// downstream tools (trust, probability, counting) consume polynomials.
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+}
+
+// Eval applies the unique homomorphism N[X] -> K induced by the valuation
+// val to the polynomial p.
+func Eval[T any](p Polynomial, k Semiring[T], val func(variable string) T) T {
+	acc := k.Zero()
+	for _, t := range p.Terms() {
+		term := k.One()
+		for _, tm := range t.Monomial.Terms() {
+			v := val(tm.Var)
+			for i := 0; i < tm.Exp; i++ {
+				term = k.Mul(term, v)
+			}
+		}
+		for i := 0; i < t.Coef; i++ {
+			acc = k.Add(acc, term)
+		}
+	}
+	return acc
+}
+
+// Counting is the semiring (N, +, ·, 0, 1); evaluating a polynomial under
+// the all-ones valuation yields the number of derivations (bag semantics
+// multiplicity).
+type Counting struct{}
+
+func (Counting) Zero() int        { return 0 }
+func (Counting) One() int         { return 1 }
+func (Counting) Add(a, b int) int { return a + b }
+func (Counting) Mul(a, b int) int { return a * b }
+
+// Boolean is the semiring (B, ∨, ∧, false, true); set semantics.
+type Boolean struct{}
+
+func (Boolean) Zero() bool         { return false }
+func (Boolean) One() bool          { return true }
+func (Boolean) Add(a, b bool) bool { return a || b }
+func (Boolean) Mul(a, b bool) bool { return a && b }
+
+// Tropical is the min-plus semiring (R∪{+inf}, min, +, +inf, 0), used for
+// cost-based trust assessment: the value of a tuple is the cheapest
+// derivation cost.
+type Tropical struct{}
+
+// TropicalInf is the additive unit of the tropical semiring.
+const TropicalInf = 1e308
+
+func (Tropical) Zero() float64 { return TropicalInf }
+func (Tropical) One() float64  { return 0 }
+func (Tropical) Add(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (Tropical) Mul(a, b float64) float64 { return a + b }
+
+// Viterbi is the semiring ([0,1], max, ·, 0, 1), used for confidence-based
+// trust assessment: the value of a tuple is its most trusted derivation.
+type Viterbi struct{}
+
+func (Viterbi) Zero() float64 { return 0 }
+func (Viterbi) One() float64  { return 1 }
+func (Viterbi) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (Viterbi) Mul(a, b float64) float64 { return a * b }
+
+// WitnessSet is a set of variable sets: the Why-provenance of a tuple
+// (Buneman, Khanna, Tan 2001). The paper (§7) notes Why-provenance is the
+// image of N[X] under dropping exponents and coefficients.
+type WitnessSet struct {
+	witnesses []Monomial // support monomials, canonical order, distinct
+}
+
+// Why drops exponents and coefficients from p, yielding its Why-provenance.
+func Why(p Polynomial) WitnessSet {
+	seen := map[string]bool{}
+	var ws []Monomial
+	for _, t := range p.Terms() {
+		s := t.Monomial.Support()
+		k := s.Key()
+		if !seen[k] {
+			seen[k] = true
+			ws = append(ws, s)
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Compare(ws[j]) < 0 })
+	return WitnessSet{witnesses: ws}
+}
+
+// Witnesses returns the distinct witness sets in canonical order.
+func (w WitnessSet) Witnesses() []Monomial { return w.witnesses }
+
+// Len returns the number of witnesses.
+func (w WitnessSet) Len() int { return len(w.witnesses) }
+
+// Equal reports set equality of witness families.
+func (w WitnessSet) Equal(x WitnessSet) bool {
+	if len(w.witnesses) != len(x.witnesses) {
+		return false
+	}
+	for i := range w.witnesses {
+		if !w.witnesses[i].Equal(x.witnesses[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimal returns the witnesses minimal under set inclusion — the
+// PosBool[X] normal form (absorption law applied). The paper observes that
+// core provenance prunes exactly the non-minimal witnesses, so
+// Minimal(Why(p)) == Why(core(p)).
+func (w WitnessSet) Minimal() WitnessSet {
+	var out []Monomial
+	for i, m := range w.witnesses {
+		dominated := false
+		for j, n := range w.witnesses {
+			if i != j && n.Divides(m) && !n.Equal(m) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, m)
+		}
+	}
+	return WitnessSet{witnesses: out}
+}
+
+// String renders the witness family as "{ {s1,s2}, {s3} }".
+func (w WitnessSet) String() string {
+	if len(w.witnesses) == 0 {
+		return "{}"
+	}
+	s := "{ "
+	for i, m := range w.witnesses {
+		if i > 0 {
+			s += ", "
+		}
+		s += "{"
+		for j, v := range m.Vars() {
+			if j > 0 {
+				s += ","
+			}
+			s += v
+		}
+		s += "}"
+	}
+	return s + " }"
+}
+
+// Trio drops exponents but keeps coefficients, yielding the Trio lineage
+// representation (Benjelloun et al.): polynomials with no exponents.
+func Trio(p Polynomial) Polynomial {
+	out := Polynomial{}
+	for _, t := range p.Terms() {
+		out = out.AddMonomial(t.Monomial.Support(), t.Coef)
+	}
+	return out
+}
+
+// NumDerivations counts derivations of p under the all-ones valuation: the
+// value of the tuple under bag semantics.
+func NumDerivations(p Polynomial) int {
+	return Eval[int](p, Counting{}, func(string) int { return 1 })
+}

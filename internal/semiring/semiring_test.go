@@ -1,0 +1,123 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvalCounting(t *testing.T) {
+	p := MustParsePolynomial("x*y^2 + 2*z")
+	got := Eval[int](p, Counting{}, func(string) int { return 1 })
+	if got != 3 {
+		t.Errorf("derivation count = %d, want 3", got)
+	}
+	// With x=2, y=3, z=5: 2*9 + 2*5 = 28.
+	val := map[string]int{"x": 2, "y": 3, "z": 5}
+	got = Eval[int](p, Counting{}, func(v string) int { return val[v] })
+	if got != 28 {
+		t.Errorf("Eval = %d, want 28", got)
+	}
+}
+
+func TestEvalBoolean(t *testing.T) {
+	p := MustParsePolynomial("s1*s2 + s3")
+	cases := []struct {
+		present map[string]bool
+		want    bool
+	}{
+		{map[string]bool{"s1": true, "s2": true}, true},
+		{map[string]bool{"s3": true}, true},
+		{map[string]bool{"s1": true}, false},
+		{map[string]bool{}, false},
+	}
+	for _, c := range cases {
+		got := Eval[bool](p, Boolean{}, func(v string) bool { return c.present[v] })
+		if got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.present, got, c.want)
+		}
+	}
+}
+
+func TestEvalTropical(t *testing.T) {
+	// cost(s1)=1, cost(s2)=2, cost(s3)=10: min(1+2, 10) = 3.
+	p := MustParsePolynomial("s1*s2 + s3")
+	cost := map[string]float64{"s1": 1, "s2": 2, "s3": 10}
+	got := Eval[float64](p, Tropical{}, func(v string) float64 { return cost[v] })
+	if got != 3 {
+		t.Errorf("tropical Eval = %v, want 3", got)
+	}
+	// Zero polynomial evaluates to +inf.
+	if got := Eval[float64](Zero, Tropical{}, func(string) float64 { return 0 }); got != TropicalInf {
+		t.Errorf("tropical Eval(0) = %v, want inf", got)
+	}
+}
+
+func TestEvalViterbi(t *testing.T) {
+	p := MustParsePolynomial("s1*s2 + s3")
+	conf := map[string]float64{"s1": 0.9, "s2": 0.8, "s3": 0.5}
+	got := Eval[float64](p, Viterbi{}, func(v string) float64 { return conf[v] })
+	if math.Abs(got-0.72) > 1e-12 {
+		t.Errorf("viterbi Eval = %v, want 0.72", got)
+	}
+}
+
+func TestWhyProvenance(t *testing.T) {
+	// 2*s1^2*s2 + s1*s2 + s3 -> witnesses {s1,s2}, {s3}
+	p := MustParsePolynomial("2*s1^2*s2 + s1*s2 + s3")
+	w := Why(p)
+	if w.Len() != 2 {
+		t.Fatalf("Why = %v", w)
+	}
+	if !w.Witnesses()[0].Equal(NewMonomial("s3")) || !w.Witnesses()[1].Equal(NewMonomial("s1", "s2")) {
+		t.Errorf("Why = %v", w)
+	}
+}
+
+func TestWhyMinimal(t *testing.T) {
+	// witnesses {s1}, {s1,s2}: minimal keeps only {s1}.
+	p := MustParsePolynomial("s1 + s1*s2")
+	min := Why(p).Minimal()
+	if min.Len() != 1 || !min.Witnesses()[0].Equal(NewMonomial("s1")) {
+		t.Errorf("Minimal = %v", min)
+	}
+}
+
+func TestWhyEqual(t *testing.T) {
+	a := Why(MustParsePolynomial("s1*s2 + s3"))
+	b := Why(MustParsePolynomial("3*s1^4*s2 + s3^2"))
+	if !a.Equal(b) {
+		t.Errorf("Why must ignore exponents and coefficients: %v vs %v", a, b)
+	}
+	c := Why(MustParsePolynomial("s1 + s3"))
+	if a.Equal(c) {
+		t.Error("distinct witness families must not be equal")
+	}
+}
+
+func TestTrioDropsExponentsKeepsCoefficients(t *testing.T) {
+	p := MustParsePolynomial("2*s1^2*s2 + s1*s2 + s3")
+	got := Trio(p)
+	want := MustParsePolynomial("3*s1*s2 + s3")
+	if !got.Equal(want) {
+		t.Errorf("Trio = %v, want %v", got, want)
+	}
+}
+
+func TestNumDerivations(t *testing.T) {
+	if got := NumDerivations(MustParsePolynomial("2*s1 + s2*s3")); got != 3 {
+		t.Errorf("NumDerivations = %d, want 3", got)
+	}
+	if got := NumDerivations(Zero); got != 0 {
+		t.Errorf("NumDerivations(0) = %d, want 0", got)
+	}
+}
+
+func TestWitnessSetString(t *testing.T) {
+	w := Why(MustParsePolynomial("s1*s2 + s3"))
+	if got := w.String(); got != "{ {s3}, {s1,s2} }" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Why(Zero).String(); got != "{}" {
+		t.Errorf("String(0) = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package store serializes annotated results and instances to JSON,
+// supporting the paper's off-line workflow (§1, §5): a system evaluates
+// whatever plan its optimizer likes and *stores* the annotated result;
+// later — possibly on another machine, without the query — the core
+// provenance of any output tuple is computed directly from the stored
+// polynomial plus the stored database (Theorem 5.1).
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"provmin/internal/db"
+	"provmin/internal/eval"
+	"provmin/internal/semiring"
+)
+
+// Envelope is the top-level stored document.
+type Envelope struct {
+	// Version of the format; bumped on breaking changes.
+	Version int `json:"version"`
+	// Consts are the query constants, needed for exact direct minimization
+	// (Theorem 5.1 part 2). May be empty.
+	Consts []string `json:"consts,omitempty"`
+	// Database is the annotated input instance.
+	Database []StoredRelation `json:"database"`
+	// Result is the annotated query output.
+	Result []StoredTuple `json:"result"`
+}
+
+// StoredRelation is one relation of the instance.
+type StoredRelation struct {
+	Name  string      `json:"name"`
+	Arity int         `json:"arity"`
+	Rows  []StoredRow `json:"rows"`
+}
+
+// StoredRow is one tagged tuple.
+type StoredRow struct {
+	Tag    string   `json:"tag"`
+	Values []string `json:"values"`
+}
+
+// StoredTuple is one output tuple with its provenance polynomial in the
+// canonical textual form of semiring.Polynomial.String.
+type StoredTuple struct {
+	Values     []string `json:"values"`
+	Provenance string   `json:"provenance"`
+}
+
+// FormatVersion is the current envelope version.
+const FormatVersion = 1
+
+// Write serializes the instance, result and constants to w.
+func Write(w io.Writer, d *db.Instance, res *eval.Result, consts []string) error {
+	env := Envelope{Version: FormatVersion, Consts: consts}
+	for _, r := range d.Relations() {
+		sr := StoredRelation{Name: r.Name, Arity: r.Arity}
+		for _, row := range r.Rows() {
+			sr.Rows = append(sr.Rows, StoredRow{Tag: row.Tag, Values: append([]string{}, row.Tuple...)})
+		}
+		env.Database = append(env.Database, sr)
+	}
+	for _, ot := range res.Tuples() {
+		env.Result = append(env.Result, StoredTuple{
+			Values:     append([]string{}, ot.Tuple...),
+			Provenance: ot.Prov.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// Read deserializes an envelope, reconstructing the instance and the
+// annotated result.
+func Read(r io.Reader) (*db.Instance, *eval.Result, []string, error) {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, nil, nil, fmt.Errorf("decode provenance store: %w", err)
+	}
+	if env.Version != FormatVersion {
+		return nil, nil, nil, fmt.Errorf("unsupported store version %d (want %d)", env.Version, FormatVersion)
+	}
+	d := db.NewInstance()
+	for _, sr := range env.Database {
+		rel, err := d.Relation(sr.Name, sr.Arity)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, row := range sr.Rows {
+			if err := rel.Add(row.Tag, row.Values...); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	res := eval.NewResult()
+	for _, st := range env.Result {
+		p, err := semiring.ParsePolynomial(st.Provenance)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("tuple %v: %w", st.Values, err)
+		}
+		res.Add(db.Tuple(st.Values), p)
+	}
+	res.Finish()
+	return d, res, env.Consts, nil
+}

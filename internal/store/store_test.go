@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"provmin/internal/db"
+	"provmin/internal/direct"
+	"provmin/internal/eval"
+	"provmin/internal/minimize"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+	"provmin/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := workload.Table2()
+	q := query.MustParse("ans(x) :- R(x,y), R(y,x)")
+	res, err := eval.EvalCQ(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d, res, q.Consts()); err != nil {
+		t.Fatal(err)
+	}
+	d2, res2, consts, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consts) != 0 {
+		t.Errorf("consts = %v", consts)
+	}
+	if !res.SameAnnotated(res2) {
+		t.Errorf("result round trip failed:\n%s\nvs\n%s", res, res2)
+	}
+	if d2.NumTuples() != d.NumTuples() || !d2.IsAbstractlyTagged() {
+		t.Errorf("database round trip failed:\n%s", d2)
+	}
+	if d2.Lookup("R").TagOf("a", "b") != "s2" {
+		t.Error("tags lost in round trip")
+	}
+}
+
+// TestOfflineCoreWorkflow is the end-to-end §1/§5 story: evaluate, store,
+// forget the query, reload elsewhere, and compute the exact core — equal to
+// what MinProv would have produced.
+func TestOfflineCoreWorkflow(t *testing.T) {
+	d := workload.Table6()
+	q := workload.QHat
+	res, err := eval.EvalCQ(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := Write(&wire, d, res, q.Consts()); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Another machine": only the bytes travel.
+	d2, res2, consts, err := Read(bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := direct.CoreResult(res2, d2, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eval.EvalUCQ(minimize.MinProvCQ(q), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SameAnnotated(want) {
+		t.Errorf("offline core:\n%s\nwant:\n%s", core, want)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, _, err := Read(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON must fail")
+	}
+	if _, _, _, err := Read(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version must fail")
+	}
+	bad := `{"version":1,"result":[{"values":["a"],"provenance":"not a poly ("}]}`
+	if _, _, _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("bad polynomial must fail")
+	}
+	badArity := `{"version":1,"database":[{"name":"R","arity":2,"rows":[{"tag":"s1","values":["a"]}]}]}`
+	if _, _, _, err := Read(strings.NewReader(badArity)); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestStoreIsHumanReadable(t *testing.T) {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a")
+	res := eval.NewResult()
+	res.Add(db.Tuple{"a"}, semiring.Var("s1"))
+	res.Finish()
+	var buf bytes.Buffer
+	if err := Write(&buf, d, res, []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"version": 1`, `"tag": "s1"`, `"provenance": "s1"`, `"consts"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stored JSON missing %q:\n%s", want, s)
+		}
+	}
+}

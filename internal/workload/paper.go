@@ -1,0 +1,117 @@
+// Package workload provides the paper's query families and databases as
+// reusable fixtures, together with parameterized random query generators for
+// the benchmark harness.
+package workload
+
+import (
+	"fmt"
+
+	"provmin/internal/db"
+	"provmin/internal/query"
+)
+
+// Figure 1 queries.
+var (
+	// Q1 is the first adjunct of Qunion.
+	Q1 = query.MustParse("ans(x) :- R(x,y), R(y,x), x != y")
+	// Q2 is the second adjunct of Qunion.
+	Q2 = query.MustParse("ans(x) :- R(x,x)")
+	// QUnion is Qunion = Q1 ∪ Q2 of Figure 1.
+	QUnion = query.MustParseUnion("ans(x) :- R(x,y), R(y,x), x != y\nans(x) :- R(x,x)")
+	// QConj is Qconj of Figure 1, equivalent to QUnion but with more
+	// provenance (Example 2.18).
+	QConj = query.MustParse("ans(x) :- R(x,y), R(y,x)")
+)
+
+// Figure 2 queries (proof of Theorem 3.5).
+var (
+	QNoPmin = query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x2")
+	QAlt    = query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x3")
+	QAlt2   = query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x4")
+	QAlt3   = query.MustParse("ans() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1), S(x1), x1 != x5")
+)
+
+// Figure 3 / Section 5 running example.
+var (
+	// QHat is Q̂ = ans() :- R(x,y), R(y,z), R(z,x).
+	QHat = query.MustParse("ans() :- R(x,y), R(y,z), R(z,x)")
+	// QHatMin1 and QHat5 are the two adjuncts of MinProv(Q̂) (Example 4.7).
+	QHatMin1 = query.MustParse("ans() :- R(v1,v1)")
+	QHat5    = query.MustParse("ans() :- R(v1,v2), R(v2,v3), R(v3,v1), v1 != v2, v2 != v3, v1 != v3")
+)
+
+// Example 4.2 query.
+var QExample42 = query.MustParse("ans(x,y) :- R(x,y), x != 'a', x != y")
+
+// Table2 builds relation R of Table 2 (tags s1..s4).
+func Table2() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "b")
+	return d
+}
+
+// Table4 builds database D of the Lemma 3.6 proof: relation R of Table 4
+// plus S = {(a)} tagged s0.
+func Table4() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a", "b")
+	d.MustAdd("R", "s2", "b", "a")
+	d.MustAdd("R", "s3", "a", "a")
+	d.MustAdd("S", "s0", "a")
+	return d
+}
+
+// Table5 builds database D' of the Lemma 3.6 proof: relation R of Table 5
+// (tags t1..t4 here, s'1..s'4 in the paper) plus S = {(a)} tagged s0.
+func Table5() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "t1", "a", "b")
+	d.MustAdd("R", "t2", "b", "c")
+	d.MustAdd("R", "t3", "c", "a")
+	d.MustAdd("R", "t4", "a", "a")
+	d.MustAdd("S", "s0", "a")
+	return d
+}
+
+// Table6 builds database D̂ of Section 5 (relation R of Table 6).
+func Table6() *db.Instance {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "c")
+	d.MustAdd("R", "s5", "c", "a")
+	return d
+}
+
+// QN builds the Theorem 4.10 query
+// Q_n = ans() :- R1(x1,y1), R1(y1,x1), ..., Rn(xn,yn), Rn(yn,xn),
+// whose p-minimal equivalent has size 2^Ω(n).
+func QN(n int) *query.CQ {
+	var atoms []query.Atom
+	for i := 1; i <= n; i++ {
+		rel := fmt.Sprintf("R%d", i)
+		x := query.V(fmt.Sprintf("x%d", i))
+		y := query.V(fmt.Sprintf("y%d", i))
+		atoms = append(atoms, query.NewAtom(rel, x, y), query.NewAtom(rel, y, x))
+	}
+	return query.NewCQ(query.NewAtom("ans"), atoms, nil)
+}
+
+// QNInstance builds an instance exercising QN: each Ri holds a symmetric
+// pair plus a self loop, so both equality cases of every pair fire.
+func QNInstance(n int) *db.Instance {
+	d := db.NewInstance()
+	tag := 0
+	next := func() string { tag++; return fmt.Sprintf("s%d", tag) }
+	for i := 1; i <= n; i++ {
+		rel := fmt.Sprintf("R%d", i)
+		d.MustAdd(rel, next(), "a", "b")
+		d.MustAdd(rel, next(), "b", "a")
+		d.MustAdd(rel, next(), "c", "c")
+	}
+	return d
+}

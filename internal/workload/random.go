@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"provmin/internal/query"
+)
+
+// QueryParams controls the random conjunctive-query generator.
+type QueryParams struct {
+	NumAtoms   int     // relational atoms per query
+	NumVars    int     // variable pool size
+	NumRels    int     // relation name pool size (R1..Rk)
+	Arity      int     // arity of every relation
+	HeadArity  int     // distinguished variables (0 = boolean)
+	DiseqProb  float64 // probability of emitting each candidate disequality
+	SelfJoinOK bool    // allow repeating relation names across atoms
+}
+
+// DefaultParams is a small, joiny default.
+func DefaultParams() QueryParams {
+	return QueryParams{NumAtoms: 3, NumVars: 4, NumRels: 2, Arity: 2, HeadArity: 1, DiseqProb: 0.2, SelfJoinOK: true}
+}
+
+// RandomCQ generates a valid conjunctive query with disequalities. The
+// result is deterministic in the seed.
+func RandomCQ(seed int64, p QueryParams) *query.CQ {
+	rng := rand.New(rand.NewSource(seed))
+	vars := make([]string, p.NumVars)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i+1)
+	}
+	rels := make([]string, p.NumRels)
+	for i := range rels {
+		rels[i] = fmt.Sprintf("R%d", i+1)
+	}
+	atoms := make([]query.Atom, p.NumAtoms)
+	used := map[string]bool{}
+	for i := range atoms {
+		rel := rels[rng.Intn(len(rels))]
+		if !p.SelfJoinOK {
+			rel = rels[i%len(rels)]
+		}
+		args := make([]query.Arg, p.Arity)
+		for j := range args {
+			v := vars[rng.Intn(len(vars))]
+			args[j] = query.V(v)
+			used[v] = true
+		}
+		atoms[i] = query.NewAtom(rel, args...)
+	}
+	var inBody []string
+	for _, v := range vars {
+		if used[v] {
+			inBody = append(inBody, v)
+		}
+	}
+	headArgs := make([]query.Arg, 0, p.HeadArity)
+	for i := 0; i < p.HeadArity && i < len(inBody); i++ {
+		headArgs = append(headArgs, query.V(inBody[rng.Intn(len(inBody))]))
+	}
+	var ds []query.Diseq
+	for i := 0; i < len(inBody); i++ {
+		for j := i + 1; j < len(inBody); j++ {
+			if rng.Float64() < p.DiseqProb {
+				ds = append(ds, query.NewDiseq(query.V(inBody[i]), query.V(inBody[j])))
+			}
+		}
+	}
+	q := query.NewCQ(query.NewAtom("ans", headArgs...), atoms, ds)
+	if err := q.Validate(); err != nil {
+		// By construction all head and diseq variables occur in the body;
+		// a failure here is a generator bug.
+		panic(err)
+	}
+	return q
+}
+
+// RandomUCQ generates a union of k random conjunctive queries sharing a
+// head relation.
+func RandomUCQ(seed int64, k int, p QueryParams) *query.UCQ {
+	adjuncts := make([]*query.CQ, k)
+	for i := range adjuncts {
+		adjuncts[i] = RandomCQ(seed*1000+int64(i), p)
+	}
+	u, err := query.NewUCQ(adjuncts...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// ChainCQ builds the path query
+// ans(x0,xn) :- R(x0,x1), R(x1,x2), ..., R(x{n-1},xn).
+func ChainCQ(n int) *query.CQ {
+	atoms := make([]query.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = query.NewAtom("R", query.V(fmt.Sprintf("x%d", i)), query.V(fmt.Sprintf("x%d", i+1)))
+	}
+	head := query.NewAtom("ans", query.V("x0"), query.V(fmt.Sprintf("x%d", n)))
+	return query.NewCQ(head, atoms, nil)
+}
+
+// CycleCQ builds the boolean cycle query
+// ans() :- R(x1,x2), ..., R(xn,x1).
+func CycleCQ(n int) *query.CQ {
+	atoms := make([]query.Atom, n)
+	for i := 1; i <= n; i++ {
+		next := i%n + 1
+		atoms[i-1] = query.NewAtom("R", query.V(fmt.Sprintf("x%d", i)), query.V(fmt.Sprintf("x%d", next)))
+	}
+	return query.NewCQ(query.NewAtom("ans"), atoms, nil)
+}
+
+// StarCQ builds ans(c) :- R(c,x1), R(c,x2), ..., R(c,xn); its Chandra–Merlin
+// core is the single atom R(c,x1), making it a standard minimization
+// fixture.
+func StarCQ(n int) *query.CQ {
+	atoms := make([]query.Atom, n)
+	for i := 1; i <= n; i++ {
+		atoms[i-1] = query.NewAtom("R", query.V("c"), query.V(fmt.Sprintf("x%d", i)))
+	}
+	return query.NewCQ(query.NewAtom("ans", query.V("c")), atoms, nil)
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"provmin/internal/minimize"
+	"provmin/internal/query"
+)
+
+func TestPaperFixturesValid(t *testing.T) {
+	for _, q := range []*query.CQ{Q1, Q2, QConj, QNoPmin, QAlt, QAlt2, QAlt3, QHat, QHatMin1, QHat5, QExample42} {
+		if err := q.Validate(); err != nil {
+			t.Errorf("fixture %v invalid: %v", q, err)
+		}
+	}
+	if err := QUnion.Validate(); err != nil {
+		t.Errorf("QUnion invalid: %v", err)
+	}
+}
+
+func TestPaperInstancesAbstractlyTagged(t *testing.T) {
+	for i, d := range []interface {
+		IsAbstractlyTagged() bool
+		NumTuples() int
+	}{Table2(), Table4(), Table5(), Table6()} {
+		if !d.IsAbstractlyTagged() {
+			t.Errorf("instance %d not abstractly tagged", i)
+		}
+	}
+	if Table2().NumTuples() != 4 || Table4().NumTuples() != 4 || Table5().NumTuples() != 5 || Table6().NumTuples() != 5 {
+		t.Error("paper instance sizes are wrong")
+	}
+}
+
+func TestQNShape(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		q := QN(n)
+		if len(q.Atoms) != 2*n {
+			t.Errorf("QN(%d) has %d atoms, want %d", n, len(q.Atoms), 2*n)
+		}
+		if len(q.Vars()) != 2*n {
+			t.Errorf("QN(%d) has %d vars, want %d", n, len(q.Vars()), 2*n)
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("QN(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestQNInstanceFiresBothCases(t *testing.T) {
+	d := QNInstance(2)
+	if d.Lookup("R1") == nil || d.Lookup("R2") == nil {
+		t.Fatal("missing relations")
+	}
+	if d.Lookup("R1").Len() != 3 {
+		t.Errorf("R1 size = %d", d.Lookup("R1").Len())
+	}
+	if !d.IsAbstractlyTagged() {
+		t.Error("instance must be abstractly tagged")
+	}
+}
+
+func TestRandomCQDeterministicAndValid(t *testing.T) {
+	p := DefaultParams()
+	a := RandomCQ(7, p)
+	b := RandomCQ(7, p)
+	if a.String() != b.String() {
+		t.Error("same seed must generate the same query")
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		q := RandomCQ(seed, p)
+		if err := q.Validate(); err != nil {
+			t.Errorf("seed %d: invalid query %v: %v", seed, q, err)
+		}
+	}
+}
+
+func TestRandomCQBooleanHead(t *testing.T) {
+	p := DefaultParams()
+	p.HeadArity = 0
+	q := RandomCQ(3, p)
+	if !q.IsBoolean() {
+		t.Errorf("HeadArity 0 should give a boolean query: %v", q)
+	}
+}
+
+func TestRandomUCQ(t *testing.T) {
+	u := RandomUCQ(5, 3, DefaultParams())
+	if len(u.Adjuncts) != 3 {
+		t.Fatalf("adjuncts = %d", len(u.Adjuncts))
+	}
+	if err := u.Validate(); err != nil {
+		t.Errorf("invalid union: %v", err)
+	}
+}
+
+func TestChainCycleStarShapes(t *testing.T) {
+	if q := ChainCQ(3); len(q.Atoms) != 3 || len(q.Head.Args) != 2 {
+		t.Errorf("ChainCQ = %v", q)
+	}
+	if q := CycleCQ(4); len(q.Atoms) != 4 || !q.IsBoolean() {
+		t.Errorf("CycleCQ = %v", q)
+	}
+	star := StarCQ(4)
+	if len(star.Atoms) != 4 {
+		t.Errorf("StarCQ = %v", star)
+	}
+	// The star's Chandra–Merlin core is a single atom.
+	m, err := minimize.StandardMinimizeCQ(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 1 {
+		t.Errorf("StarCQ core = %v, want one atom", m)
+	}
+}
+
+func TestCycleCQMinimal(t *testing.T) {
+	// Odd directed cycles are cores (no proper retract).
+	m, err := minimize.StandardMinimizeCQ(CycleCQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 3 {
+		t.Errorf("C3 should be minimal, got %v", m)
+	}
+}

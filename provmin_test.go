@@ -1,0 +1,108 @@
+package provmin
+
+import (
+	"testing"
+)
+
+func table2() *Instance {
+	d := NewInstance()
+	d.MustAdd("R", "s1", "a", "a")
+	d.MustAdd("R", "s2", "a", "b")
+	d.MustAdd("R", "s3", "b", "a")
+	d.MustAdd("R", "s4", "b", "b")
+	return d
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	q := MustParseQuery("ans(x) :- R(x,y), R(y,x)")
+	u := SingleQuery(q)
+	res, err := Eval(u, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("result:\n%s", res)
+	}
+	pa, ok := res.Lookup(Tuple{"a"})
+	if !ok || !pa.Equal(MustParsePolynomial("s1^2 + s2*s3")) {
+		t.Errorf("prov(a) = %v", pa)
+	}
+
+	pmin := MinProv(u)
+	if !Equivalent(pmin, u) {
+		t.Error("MinProv output must be equivalent")
+	}
+	rel, err := CompareOnDB(pmin, u, table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != Less {
+		t.Errorf("MinProv vs input = %v, want <", rel)
+	}
+
+	core, err := CorePolynomial(pa, table2(), Tuple{"a"}, q.Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Provenance(pmin, table2(), Tuple{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Equal(want) {
+		t.Errorf("direct core %v != MinProv provenance %v", core, want)
+	}
+}
+
+func TestFacadeClassesAndOrders(t *testing.T) {
+	if ClassOf(MustParseQuery("ans(x) :- R(x,x)")) != ClassCQ {
+		t.Error("ClassOf CQ")
+	}
+	if ClassOfUnion(MustParseUnion("ans(x) :- R(x,y), x != y\nans(x) :- R(x,x)")) != ClassCUCQNeq {
+		t.Error("ClassOfUnion cUCQ!=")
+	}
+	if ComparePolynomials(MustParsePolynomial("s1"), MustParsePolynomial("s1^2")) != Less {
+		t.Error("ComparePolynomials")
+	}
+	if !PolynomialLE(MustParsePolynomial("s1"), MustParsePolynomial("s1 + s2")) {
+		t.Error("PolynomialLE")
+	}
+}
+
+func TestFacadeHomAndMinimize(t *testing.T) {
+	a := MustParseQuery("ans(x) :- R(x,y), R(y,x)")
+	b := MustParseQuery("ans(x) :- R(x,x)")
+	if !HomomorphismExists(a, b) || HomomorphismExists(b, a) {
+		t.Error("HomomorphismExists facade broken")
+	}
+	if Isomorphic(a, b) {
+		t.Error("Isomorphic facade broken")
+	}
+	u := MustParseUnion("ans(x) :- R(x,y), R(y,x)\nans(x) :- R(x,x)")
+	m := StandardMinimize(u)
+	if len(m.Adjuncts) != 1 {
+		t.Errorf("StandardMinimize = %v", m)
+	}
+	if !Contained(SingleQuery(b), u) {
+		t.Error("Contained facade broken")
+	}
+}
+
+func TestFacadeProvenanceModels(t *testing.T) {
+	p := MustParsePolynomial("2*s1^2*s2 + s1*s2 + s3")
+	if Why(p).Len() != 2 {
+		t.Errorf("Why = %v", Why(p))
+	}
+	if !Trio(p).Equal(MustParsePolynomial("3*s1*s2 + s3")) {
+		t.Errorf("Trio = %v", Trio(p))
+	}
+	if !CoreUpToCoefficients(p).Equal(MustParsePolynomial("s1*s2 + s3")) {
+		t.Errorf("CoreUpToCoefficients = %v", CoreUpToCoefficients(p))
+	}
+}
+
+func TestFacadeMinProvWithSteps(t *testing.T) {
+	st := MinProvWithSteps(MustParseUnion("ans() :- R(x,y), R(y,z), R(z,x)"))
+	if len(st.QI.Adjuncts) != 5 || len(st.QIII.Adjuncts) != 2 {
+		t.Errorf("steps: QI=%d QIII=%d", len(st.QI.Adjuncts), len(st.QIII.Adjuncts))
+	}
+}

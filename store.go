@@ -1,0 +1,41 @@
+package provmin
+
+import (
+	"io"
+
+	"provmin/internal/direct"
+	"provmin/internal/store"
+)
+
+func directCoreResult(res *Result, d *Instance, consts []string) (*Result, error) {
+	return direct.CoreResult(res, d, consts)
+}
+
+func directCoreResultUpTo(res *Result) *Result {
+	return direct.CoreResultUpToCoefficients(res)
+}
+
+// SaveResult serializes an annotated result together with its input
+// instance and the query's constants — everything Theorem 5.1 part 2 needs
+// to recover exact core provenance later, off-line, without the query.
+func SaveResult(w io.Writer, d *Instance, res *Result, consts []string) error {
+	return store.Write(w, d, res, consts)
+}
+
+// LoadResult deserializes a stored annotated result.
+func LoadResult(r io.Reader) (*Instance, *Result, []string, error) {
+	return store.Read(r)
+}
+
+// CoreResult computes the exact core provenance of every tuple of an
+// annotated result directly (Theorem 5.1): the result the p-minimal query
+// would produce, recovered without the query.
+func CoreResult(res *Result, d *Instance, consts []string) (*Result, error) {
+	return directCoreResult(res, d, consts)
+}
+
+// CoreResultUpToCoefficients is the PTIME whole-result core (coefficients
+// normalized to 1), computed from the polynomials alone.
+func CoreResultUpToCoefficients(res *Result) *Result {
+	return directCoreResultUpTo(res)
+}
