@@ -1,0 +1,86 @@
+// Command provmind is the provenance-minimization service: a long-lived
+// HTTP server that hosts annotated database instances, evaluates UCQ≠
+// queries with provenance concurrently, and serves core provenance through
+// a cache of p-minimal query forms.
+//
+// Usage:
+//
+//	provmind [-addr :8411] [-workers N] [-cache 1024]
+//	         [-batch 256] [-batch-wait 2ms]
+//
+// Endpoints (see internal/server): /instances, /query, /core, /prob,
+// /trust, /deletion, /metrics, /healthz.
+//
+// Quick start:
+//
+//	provmind -addr :8411 &
+//	curl -s -X POST localhost:8411/instances \
+//	     -d '{"initial":"R r1 a a\nR r2 a b\nR r3 b a"}'
+//	curl -s -X POST localhost:8411/query \
+//	     -d '{"instance":"i1","query":"ans(x) :- R(x,y), R(y,x)"}'
+//	curl -s "localhost:8411/core?instance=i1&q=ans(x)+:-+R(x,y),+R(y,x)"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"provmin/internal/engine"
+	"provmin/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8411", "listen address")
+		workers   = flag.Int("workers", 0, "evaluation worker count (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 1024, "minimized-query LRU cache entries")
+		batch     = flag.Int("batch", 256, "ingest batch size (facts)")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max ingest batching delay")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "provmind: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	eng := engine.New(engine.Config{
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		IngestBatchSize: *batch,
+		IngestMaxWait:   *batchWait,
+	})
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("provmind listening on %s (workers=%d cache=%d batch=%d/%s)",
+		*addr, *workers, *cacheSize, *batch, *batchWait)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("provmind: %v", err)
+	case sig := <-sigc:
+		log.Printf("provmind: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("provmind: shutdown: %v", err)
+		}
+	}
+}

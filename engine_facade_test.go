@@ -1,0 +1,63 @@
+package provmin_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"provmin"
+)
+
+// TestEngineFacade drives the service layer through the root package alone:
+// NewEngine for in-process use, NewServerHandler for the HTTP surface.
+func TestEngineFacade(t *testing.T) {
+	eng := provmin.NewEngine(provmin.EngineConfig{Workers: 2, CacheSize: 4})
+	defer eng.Close()
+
+	info, err := eng.CreateInstance("R r1 a a\nR r2 a b\nR r3 b a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest(info.ID, []provmin.Fact{{Rel: "S", Tag: "s1", Values: []string{"a"}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	u := provmin.MustParseUnion("ans(x) :- R(x,y), R(y,x), S(x)")
+	ctx := context.Background()
+	out1, err := eng.Core(ctx, info.ID, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := eng.Core(ctx, info.ID, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.CacheHit || !out2.CacheHit {
+		t.Fatalf("cache hits = %v,%v, want false,true", out1.CacheHit, out2.CacheHit)
+	}
+	if out1.Result.String() != out2.Result.String() {
+		t.Fatalf("cached core differs:\n%s\nvs\n%s", out2.Result, out1.Result)
+	}
+
+	// The same engine behind the HTTP handler, sharing cache and metrics.
+	ts := httptest.NewServer(provmin.NewServerHandler(eng))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/core", "application/json",
+		strings.NewReader(`{"instance":"`+info.ID+`","query":"ans(x) :- R(x,y), R(y,x), S(x)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.CacheHit {
+		t.Fatal("HTTP core request did not share the in-process cache")
+	}
+}

@@ -1,0 +1,3 @@
+module provmin
+
+go 1.24

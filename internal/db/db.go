@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Tuple is a database tuple: a fixed-arity list of domain values.
@@ -55,6 +56,10 @@ type Relation struct {
 	rows  []Row
 	byKey map[string]int     // tuple key -> row index
 	index []map[string][]int // column index: index[col][value] -> row indices
+	// indexMu guards the lazy build and reads of index, making concurrent
+	// read-only use (RowsWith from parallel evaluations) safe. Mutating
+	// methods (Add, Delete) still require external exclusion.
+	indexMu sync.Mutex
 }
 
 // NewRelation creates an empty relation.
@@ -125,23 +130,31 @@ func (r *Relation) TagOf(values ...string) string {
 }
 
 // RowsWith returns the indices of rows whose column col equals val, using a
-// lazily built per-column index.
+// lazily built per-column index. The build is guarded by indexMu so that
+// concurrent read-only evaluations (e.g. parallel queries in the provmind
+// engine, which hold only a read lock on the instance) can share one
+// relation; writers still require external exclusion, as Add/Delete mutate
+// rows without this lock.
 func (r *Relation) RowsWith(col int, val string) []int {
 	if col < 0 || col >= r.Arity {
 		return nil
 	}
+	r.indexMu.Lock()
 	if r.index == nil {
-		r.index = make([]map[string][]int, r.Arity)
+		idx := make([]map[string][]int, r.Arity)
 		for c := 0; c < r.Arity; c++ {
-			r.index[c] = map[string][]int{}
+			idx[c] = map[string][]int{}
 		}
 		for i, row := range r.rows {
 			for c, v := range row.Tuple {
-				r.index[c][v] = append(r.index[c][v], i)
+				idx[c][v] = append(idx[c][v], i)
 			}
 		}
+		r.index = idx
 	}
-	return r.index[col][val]
+	rows := r.index[col][val]
+	r.indexMu.Unlock()
+	return rows
 }
 
 // Clone returns a deep copy of the relation.

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"provmin/internal/db"
+)
+
+// Fact is one annotated tuple to ingest: relation name, provenance tag and
+// the tuple's values.
+type Fact struct {
+	Rel    string   `json:"rel"`
+	Tag    string   `json:"tag"`
+	Values []string `json:"values"`
+}
+
+// ingestBatcher coalesces concurrent tuple ingests into one write-lock
+// acquisition. Every Instance write invalidates the relation's column
+// indexes and contends with readers, so under concurrent load it pays to
+// gather facts for up to maxWait (or until batchSize is reached) and apply
+// them in a single critical section. Callers block until their facts are
+// durably applied, so the batching is invisible except in throughput.
+type ingestBatcher struct {
+	inst      *instance
+	batchSize int
+	maxWait   time.Duration
+
+	in        chan *ingestReq
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+type ingestReq struct {
+	facts []Fact
+	resp  chan error
+}
+
+func newIngestBatcher(inst *instance, batchSize int, maxWait time.Duration) *ingestBatcher {
+	if batchSize < 1 {
+		batchSize = 256
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &ingestBatcher{
+		inst:      inst,
+		batchSize: batchSize,
+		maxWait:   maxWait,
+		in:        make(chan *ingestReq, 64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// add enqueues a group of facts and blocks until the batch containing them
+// has been applied. All facts of one call are applied atomically with
+// respect to queries (they land inside one write-lock hold).
+func (b *ingestBatcher) add(facts []Fact) error {
+	req := &ingestReq{facts: facts, resp: make(chan error, 1)}
+	select {
+	case b.in <- req:
+	case <-b.stop:
+		return fmt.Errorf("engine: instance closed")
+	}
+	// b.in is buffered, so the send can also succeed after the loop's
+	// final drain has finished — waiting on resp alone would then hang
+	// forever. done closing means no goroutine will read b.in again; one
+	// last non-blocking resp check covers the race where the drain did
+	// handle this request before exiting.
+	select {
+	case err := <-req.resp:
+		return err
+	case <-b.done:
+		select {
+		case err := <-req.resp:
+			return err
+		default:
+			return fmt.Errorf("engine: instance closed")
+		}
+	}
+}
+
+// close drains outstanding requests and stops the loop. Safe for concurrent
+// callers (Engine.Close racing DropInstance).
+func (b *ingestBatcher) close() {
+	b.closeOnce.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+func (b *ingestBatcher) loop() {
+	defer close(b.done)
+
+	var batch []*ingestReq
+	var pending int
+	var timer *time.Timer
+	var timerC <-chan time.Time
+
+	reset := func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		batch, pending, timer, timerC = nil, 0, nil, nil
+	}
+
+	for {
+		select {
+		case req := <-b.in:
+			batch = append(batch, req)
+			pending += len(req.facts)
+			if len(batch) == 1 {
+				timer = time.NewTimer(b.maxWait)
+				timerC = timer.C
+			}
+			if pending >= b.batchSize {
+				b.flush(batch)
+				reset()
+			}
+
+		case <-timerC:
+			b.flush(batch)
+			reset()
+
+		case <-b.stop:
+			// Serve requests that raced the close, then exit.
+			for {
+				select {
+				case req := <-b.in:
+					batch = append(batch, req)
+				default:
+					b.flush(batch)
+					reset()
+					return
+				}
+			}
+		}
+	}
+}
+
+// flush applies every request's facts under one write lock. A bad fact
+// fails only its own request: earlier facts of that request stay applied
+// (Instance.Add is not transactional), which the API documents as
+// partial-failure semantics per batch entry.
+func (b *ingestBatcher) flush(batch []*ingestReq) {
+	if len(batch) == 0 {
+		return
+	}
+	b.inst.mu.Lock()
+	applied := 0
+	for _, req := range batch {
+		var err error
+		for _, f := range req.facts {
+			if e := addFact(b.inst.db, f); e != nil {
+				err = e
+				break
+			}
+			applied++
+		}
+		req.resp <- err
+	}
+	if applied > 0 {
+		b.inst.version++
+	}
+	b.inst.mu.Unlock()
+}
+
+func addFact(d *db.Instance, f Fact) error {
+	if f.Rel == "" {
+		return fmt.Errorf("fact missing relation name")
+	}
+	if f.Tag == "" {
+		return fmt.Errorf("fact %s%v missing provenance tag", f.Rel, f.Values)
+	}
+	rel, err := d.Relation(f.Rel, len(f.Values))
+	if err != nil {
+		return err
+	}
+	return rel.Add(f.Tag, f.Values...)
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"provmin/internal/query"
+)
+
+func benchEngine(b *testing.B, tuples int) (*Engine, string) {
+	b.Helper()
+	e := New(Config{Workers: 4, CacheSize: 64})
+	b.Cleanup(e.Close)
+	info, err := e.CreateInstance("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	facts := make([]Fact, 0, tuples)
+	for i := 0; i < tuples; i++ {
+		facts = append(facts, Fact{
+			Rel: "R", Tag: fmt.Sprintf("r%d", i),
+			Values: []string{fmt.Sprintf("v%d", i%16), fmt.Sprintf("v%d", (i+1)%16)},
+		})
+	}
+	if err := e.Ingest(info.ID, facts); err != nil {
+		b.Fatal(err)
+	}
+	return e, info.ID
+}
+
+// benchQuery has a redundant atom, so MinProv has real work to skip on a
+// cache hit.
+const benchQuery = "ans(x) :- R(x,y), R(y,z), R(x,w)"
+
+// BenchmarkCoreCold measures core provenance with the minimization cache
+// defeated (a fresh variable renaming each iteration takes a new slot).
+func BenchmarkCoreCold(b *testing.B) {
+	e, id := benchEngine(b, 64)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf("ans(x%d) :- R(x%d,y%d), R(y%d,z%d), R(x%d,w%d)", i, i, i, i, i, i, i)
+		u := query.MustParseUnion(q)
+		if _, err := e.Core(ctx, id, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreCached measures the steady-state service hot path: repeated
+// core requests for one query, MinProv amortized away by the LRU.
+func BenchmarkCoreCached(b *testing.B) {
+	e, id := benchEngine(b, 64)
+	ctx := context.Background()
+	u := query.MustParseUnion(benchQuery)
+	if _, err := e.Core(ctx, id, u); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Core(ctx, id, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParallel measures concurrent read throughput on one
+// instance through the worker pool.
+func BenchmarkQueryParallel(b *testing.B) {
+	e, id := benchEngine(b, 64)
+	ctx := context.Background()
+	u := query.MustParseUnion("ans(x,y) :- R(x,y)")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := e.Query(ctx, id, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIngestBatched measures batched write throughput (facts/op) with
+// concurrent writers sharing flushes.
+func BenchmarkIngestBatched(b *testing.B) {
+	e, id := benchEngine(b, 0)
+	var n atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v := fmt.Sprintf("b%d", n.Add(1))
+			if err := e.Ingest(id, []Fact{{Rel: "W", Tag: "t" + v, Values: []string{v}}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+
+	"provmin/internal/query"
+)
+
+// CanonicalKey returns a canonical string form of a union: each adjunct's
+// atom-sorted rendering (query.CQ.SortedString), the adjuncts themselves
+// sorted and deduplicated. Two unions that are equal up to adjunct order and
+// atom order map to the same key, so the minimization cache recognizes
+// syntactic restatements of one query. Variable renamings hash differently —
+// they simply take distinct cache slots, never wrong answers.
+func CanonicalKey(u *query.UCQ) string {
+	lines := make([]string, 0, len(u.Adjuncts))
+	for _, q := range u.Adjuncts {
+		lines = append(lines, q.SortedString())
+	}
+	sort.Strings(lines)
+	uniq := lines[:0]
+	for i, l := range lines {
+		if i == 0 || l != lines[i-1] {
+			uniq = append(uniq, l)
+		}
+	}
+	return strings.Join(uniq, "\n")
+}
+
+// minCache is a thread-safe LRU map from canonical query keys to their
+// p-minimal forms. MinProv is worst-case exponential (Theorem 4.10), so a
+// hit saves the dominant cost of a core-provenance request; p-minimal forms
+// are canonical per equivalence class, which makes them safe to share
+// between requests as long as callers never mutate a cached value.
+type minCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent; values are *cacheEntry
+	items map[string]*list.Element // key -> element
+}
+
+type cacheEntry struct {
+	key string
+	min *query.UCQ // p-minimal form; treated as immutable
+}
+
+func newMinCache(capacity int) *minCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &minCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached p-minimal form and marks the key most-recent.
+func (c *minCache) get(key string) (*query.UCQ, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).min, true
+}
+
+// put stores a p-minimal form, evicting the least-recently-used entry when
+// over capacity. Re-putting an existing key refreshes its recency.
+func (c *minCache) put(key string, min *query.UCQ) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).min = min
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, min: min})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *minCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,544 @@
+// Package engine is the concurrent provenance-evaluation engine behind the
+// provmind service. It wraps the library's eval/minimize/direct layers with:
+//
+//   - a registry of named annotated instances, each guarded by a
+//     read-write lock so queries run in parallel with each other and
+//     serialize only against ingest;
+//   - a fixed-size worker pool bounding concurrent evaluations;
+//   - a per-instance ingest batcher that coalesces concurrent tuple
+//     writes into single write-lock acquisitions;
+//   - an LRU cache from canonical query forms to their p-minimal
+//     equivalents (MinProv output), so repeated core-provenance requests
+//     skip Algorithm 1 — the worst-case-exponential step — entirely.
+//
+// The engine is safe for concurrent use by multiple goroutines.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"provmin/internal/apps/deletion"
+	"provmin/internal/apps/prob"
+	"provmin/internal/apps/trust"
+	"provmin/internal/db"
+	"provmin/internal/direct"
+	"provmin/internal/eval"
+	"provmin/internal/metrics"
+	"provmin/internal/minimize"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+// Config tunes a new Engine. Zero values select sensible defaults.
+type Config struct {
+	// Workers is the evaluation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU capacity of the minimized-query cache
+	// (default 1024 entries).
+	CacheSize int
+	// IngestBatchSize flushes an ingest batch when this many facts are
+	// pending (default 256).
+	IngestBatchSize int
+	// IngestMaxWait flushes a non-empty ingest batch after this delay
+	// (default 2ms).
+	IngestMaxWait time.Duration
+	// Metrics receives engine counters and histograms; a private registry
+	// is created when nil.
+	Metrics *metrics.Registry
+}
+
+// ErrClosed is returned for operations on a closed engine — a service
+// availability condition, distinct from client errors.
+var ErrClosed = errors.New("engine closed")
+
+// Engine is a long-lived, concurrency-safe provenance service core.
+type Engine struct {
+	cfg   Config
+	reg   *metrics.Registry
+	pool  *pool
+	cache *minCache
+
+	mu        sync.RWMutex
+	instances map[string]*instance
+	nextID    uint64
+	closed    bool
+
+	// sfMu/inflight give Minimize singleflight semantics: concurrent
+	// cache misses for one canonical key run MinProv once and share it.
+	sfMu     sync.Mutex
+	inflight map[string]*minFlight
+}
+
+// minFlight is one in-progress MinProv computation; min is valid (or nil,
+// if the computation panicked) once done is closed.
+type minFlight struct {
+	done chan struct{}
+	min  *query.UCQ
+}
+
+// instance is one annotated database plus its concurrency machinery. The
+// batcher is created eagerly so Close/Drop never race a lazy initializer.
+type instance struct {
+	id string
+
+	mu      sync.RWMutex // guards db and version
+	db      *db.Instance
+	version uint64 // bumped on every applied ingest batch
+
+	batcher *ingestBatcher
+}
+
+// New creates an engine and starts its worker pool.
+func New(cfg Config) *Engine {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Engine{
+		cfg:       cfg,
+		reg:       reg,
+		pool:      newPool(cfg.Workers),
+		cache:     newMinCache(cfg.CacheSize),
+		instances: map[string]*instance{},
+		inflight:  map[string]*minFlight{},
+	}
+}
+
+// Metrics returns the registry the engine records into.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Close stops the worker pool and all ingest batchers. In-flight work
+// completes; subsequent calls fail.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	insts := make([]*instance, 0, len(e.instances))
+	for _, in := range e.instances {
+		insts = append(insts, in)
+	}
+	e.mu.Unlock()
+
+	for _, in := range insts {
+		in.batcher.close()
+	}
+	e.pool.close()
+}
+
+// InstanceInfo describes one instance for listings.
+type InstanceInfo struct {
+	ID        string `json:"id"`
+	Relations int    `json:"relations"`
+	Tuples    int    `json:"tuples"`
+	Version   uint64 `json:"version"`
+}
+
+// CreateInstance registers a new annotated instance, optionally seeded from
+// facts in the db text format ("<relation> <tag> <value>..." per line).
+func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
+	d := db.NewInstance()
+	if initial != "" {
+		parsed, err := db.ParseInstance(initial)
+		if err != nil {
+			return InstanceInfo{}, fmt.Errorf("parse initial facts: %w", err)
+		}
+		d = parsed
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return InstanceInfo{}, ErrClosed
+	}
+	e.nextID++
+	in := &instance{id: fmt.Sprintf("i%d", e.nextID), db: d}
+	in.batcher = newIngestBatcher(in, e.cfg.IngestBatchSize, e.cfg.IngestMaxWait)
+	e.instances[in.id] = in
+	e.reg.Gauge("engine_instances").Set(int64(len(e.instances)))
+	return InstanceInfo{ID: in.id, Relations: len(d.Relations()), Tuples: d.NumTuples()}, nil
+}
+
+// DropInstance removes an instance and stops its batcher.
+func (e *Engine) DropInstance(id string) bool {
+	e.mu.Lock()
+	in, ok := e.instances[id]
+	if ok {
+		delete(e.instances, id)
+	}
+	e.reg.Gauge("engine_instances").Set(int64(len(e.instances)))
+	e.mu.Unlock()
+	if ok {
+		in.batcher.close()
+	}
+	return ok
+}
+
+// Instances lists every instance, sorted by id.
+func (e *Engine) Instances() []InstanceInfo {
+	e.mu.RLock()
+	insts := make([]*instance, 0, len(e.instances))
+	for _, in := range e.instances {
+		insts = append(insts, in)
+	}
+	e.mu.RUnlock()
+	out := make([]InstanceInfo, 0, len(insts))
+	for _, in := range insts {
+		out = append(out, e.describe(in))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Instance returns info for one instance.
+func (e *Engine) Instance(id string) (InstanceInfo, bool) {
+	in, err := e.lookup(id)
+	if err != nil {
+		return InstanceInfo{}, false
+	}
+	return e.describe(in), true
+}
+
+func (e *Engine) describe(in *instance) InstanceInfo {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return InstanceInfo{
+		ID:        in.id,
+		Relations: len(in.db.Relations()),
+		Tuples:    in.db.NumTuples(),
+		Version:   in.version,
+	}
+}
+
+func (e *Engine) lookup(id string) (*instance, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	in, ok := e.instances[id]
+	if !ok {
+		return nil, fmt.Errorf("no such instance %q", id)
+	}
+	return in, nil
+}
+
+// Ingest applies a group of facts to an instance through its batcher; it
+// blocks until the facts are visible to queries. Facts of one call are
+// applied atomically with respect to concurrent queries.
+func (e *Engine) Ingest(id string, facts []Fact) error {
+	in, err := e.lookup(id)
+	if err != nil {
+		return err
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+	if err := in.batcher.add(facts); err != nil {
+		return err
+	}
+	e.reg.Counter("engine_ingest_facts_total").Add(int64(len(facts)))
+	return nil
+}
+
+// ParseUnion parses query text into a UCQ≠ (one rule, or several separated
+// by ';' / newlines).
+func ParseUnion(text string) (*query.UCQ, error) { return query.ParseUnion(text) }
+
+// run executes fn on the worker pool, recording queue wait.
+func (e *Engine) run(ctx context.Context, fn func() (any, error)) (any, error) {
+	submitted := time.Now()
+	return e.pool.do(ctx, func() (any, error) {
+		e.reg.Histogram("engine_queue_wait_seconds").Observe(time.Since(submitted))
+		return fn()
+	})
+}
+
+// Query evaluates a union over an instance with full N[X] provenance
+// annotations. It holds the instance read lock for the duration of the
+// evaluation, so results are a consistent snapshot.
+func (e *Engine) Query(ctx context.Context, id string, u *query.UCQ) (*eval.Result, uint64, error) {
+	in, err := e.lookup(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.reg.Counter("engine_queries_total").Inc()
+	v, err := e.run(ctx, func() (any, error) {
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		// Time only the evaluation itself, like Core does: queue wait is
+		// already engine_queue_wait_seconds, so the shared eval histogram
+		// keeps one consistent meaning.
+		start := time.Now()
+		res, err := eval.EvalUCQ(u, in.db)
+		if err != nil {
+			return nil, err
+		}
+		e.reg.Histogram("engine_eval_seconds").Observe(time.Since(start))
+		return &evalOut{res: res, version: in.version}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := v.(*evalOut)
+	return out.res, out.version, nil
+}
+
+type evalOut struct {
+	res     *eval.Result
+	version uint64
+}
+
+// Minimize returns the p-minimal form of u, consulting the LRU cache first.
+// The boolean reports whether MinProv was skipped (an LRU hit, or another
+// caller's in-flight computation was joined). Cached values are shared and
+// must not be mutated by callers.
+func (e *Engine) Minimize(u *query.UCQ) (*query.UCQ, bool) {
+	key := CanonicalKey(u)
+	for {
+		if min, ok := e.cache.get(key); ok {
+			e.reg.Counter("engine_cache_hits_total").Inc()
+			return min, true
+		}
+		e.sfMu.Lock()
+		if fl, ok := e.inflight[key]; ok {
+			// Another worker is already running MinProv — the
+			// worst-case-exponential step — for this key; join it
+			// rather than duplicating the work.
+			e.sfMu.Unlock()
+			<-fl.done
+			if fl.min != nil {
+				e.reg.Counter("engine_cache_hits_total").Inc()
+				return fl.min, true
+			}
+			continue // leader panicked; retry (likely becoming leader)
+		}
+		fl := &minFlight{done: make(chan struct{})}
+		e.inflight[key] = fl
+		e.sfMu.Unlock()
+
+		e.reg.Counter("engine_cache_misses_total").Inc()
+		defer func() {
+			e.sfMu.Lock()
+			delete(e.inflight, key)
+			e.sfMu.Unlock()
+			close(fl.done)
+		}()
+		start := time.Now()
+		min := minimize.MinProv(u)
+		e.reg.Histogram("engine_minprov_seconds").Observe(time.Since(start))
+		e.cache.put(key, min)
+		fl.min = min
+		return min, false
+	}
+}
+
+// CacheLen returns the number of cached minimized queries.
+func (e *Engine) CacheLen() int { return e.cache.len() }
+
+// CoreOut is the result of a core-provenance request.
+type CoreOut struct {
+	Result    *eval.Result // tuples annotated with core provenance
+	Minimized *query.UCQ   // the p-minimal query that realized it
+	CacheHit  bool         // whether MinProv was skipped
+	Version   uint64       // instance version the result reflects
+}
+
+// Core computes the core provenance of every answer tuple of u on the
+// instance by evaluating the cached (or freshly computed) p-minimal form,
+// which realizes the core provenance on abstractly-tagged databases
+// (Theorem 4.6). Repeated calls with the same query hit the minimization
+// cache and skip Algorithm 1.
+func (e *Engine) Core(ctx context.Context, id string, u *query.UCQ) (*CoreOut, error) {
+	in, err := e.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e.reg.Counter("engine_core_total").Inc()
+	v, err := e.run(ctx, func() (any, error) {
+		min, hit := e.Minimize(u)
+		start := time.Now()
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		res, err := eval.EvalUCQ(min, in.db)
+		if err != nil {
+			return nil, err
+		}
+		e.reg.Histogram("engine_eval_seconds").Observe(time.Since(start))
+		return &CoreOut{Result: res, Minimized: min, CacheHit: hit, Version: in.version}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CoreOut), nil
+}
+
+// CoreDirect computes core provenance without the minimized query: it
+// evaluates u as-is and post-processes every polynomial with the direct
+// Theorem 5.1 construction. It is the cross-check path for Core and the
+// fallback when callers want cores on a database that is not abstractly
+// tagged up to the paper's assumptions.
+func (e *Engine) CoreDirect(ctx context.Context, id string, u *query.UCQ) (*eval.Result, error) {
+	in, err := e.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	v, err := e.run(ctx, func() (any, error) {
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		res, err := eval.EvalUCQ(u, in.db)
+		if err != nil {
+			return nil, err
+		}
+		return direct.CoreResult(res, in.db, u.Consts())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*eval.Result), nil
+}
+
+// TupleProvenance returns P(t, u, D) for one tuple (the zero polynomial if
+// the tuple is not an answer).
+func (e *Engine) TupleProvenance(ctx context.Context, id string, u *query.UCQ, t db.Tuple) (semiring.Polynomial, error) {
+	in, err := e.lookup(id)
+	if err != nil {
+		return semiring.Zero, err
+	}
+	v, err := e.run(ctx, func() (any, error) {
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		return eval.Provenance(u, in.db, t)
+	})
+	if err != nil {
+		return semiring.Zero, err
+	}
+	return v.(semiring.Polynomial), nil
+}
+
+// ProbOpts configures Probability.
+type ProbOpts struct {
+	// Probs maps tags to probabilities; Default is used for absent tags.
+	Probs   map[string]float64
+	Default float64
+	// UseCore first reduces the polynomial to its core (up to
+	// coefficients), shrinking the inclusion–exclusion input without
+	// changing the answer.
+	UseCore bool
+	// MCSamples switches to Monte Carlo estimation when positive.
+	MCSamples int
+	Seed      int64
+}
+
+func (o ProbOpts) tagProb(tag string) float64 {
+	if p, ok := o.Probs[tag]; ok {
+		return p
+	}
+	return o.Default
+}
+
+// Probability computes the derivation probability of tuple t under a
+// tuple-independent probabilistic database (apps/prob on top of the
+// provenance polynomial).
+func (e *Engine) Probability(ctx context.Context, id string, u *query.UCQ, t db.Tuple, opts ProbOpts) (float64, error) {
+	p, err := e.TupleProvenance(ctx, id, u, t)
+	if err != nil {
+		return 0, err
+	}
+	v, err := e.run(ctx, func() (any, error) {
+		if opts.UseCore {
+			p = direct.CoreUpToCoefficients(p)
+		}
+		if opts.MCSamples > 0 {
+			return prob.MonteCarlo(p, opts.tagProb, opts.MCSamples, opts.Seed), nil
+		}
+		return prob.Exact(p, opts.tagProb)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
+// TrustOpts configures Trust: per-tag values plus a default.
+type TrustOpts struct {
+	Values  map[string]float64
+	Default float64
+	// Confidence selects Viterbi (most-confident derivation) instead of
+	// tropical cheapest-cost.
+	Confidence bool
+	// UseCore reduces to the core polynomial first.
+	UseCore bool
+}
+
+func (o TrustOpts) tagValue(tag string) float64 {
+	if v, ok := o.Values[tag]; ok {
+		return v
+	}
+	return o.Default
+}
+
+// Trust evaluates the trust of tuple t: cheapest-derivation cost in the
+// tropical semiring, or most-confident derivation when opts.Confidence.
+func (e *Engine) Trust(ctx context.Context, id string, u *query.UCQ, t db.Tuple, opts TrustOpts) (float64, error) {
+	p, err := e.TupleProvenance(ctx, id, u, t)
+	if err != nil {
+		return 0, err
+	}
+	v, err := e.run(ctx, func() (any, error) {
+		if opts.UseCore {
+			p = direct.CoreUpToCoefficients(p)
+		}
+		if opts.Confidence {
+			return trust.Confidence(p, opts.tagValue), nil
+		}
+		return trust.Cost(p, opts.tagValue), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
+// DeletionOut reports deletion propagation over a whole result.
+type DeletionOut struct {
+	Survivors []db.Tuple
+	Lost      []db.Tuple
+}
+
+// Deletion evaluates u, then partitions the answer tuples into those that
+// survive deleting the tagged input tuples and those that are lost —
+// deletion propagation from provenance alone, no re-evaluation.
+func (e *Engine) Deletion(ctx context.Context, id string, u *query.UCQ, deletedTags []string) (*DeletionOut, error) {
+	in, err := e.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	deleted := make(map[string]bool, len(deletedTags))
+	for _, tg := range deletedTags {
+		deleted[tg] = true
+	}
+	v, err := e.run(ctx, func() (any, error) {
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		res, err := eval.EvalUCQ(u, in.db)
+		if err != nil {
+			return nil, err
+		}
+		surv, lost := deletion.Propagate(res, deleted)
+		return &DeletionOut{Survivors: surv, Lost: lost}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*DeletionOut), nil
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"provmin/internal/query"
+)
+
+// paperInstance is the running example of the paper: R with a symmetric
+// pair and a self-loop, abstractly tagged.
+const paperInstance = "R r1 a a\nR r2 a b\nR r3 b a"
+
+const paperQuery = "ans(x) :- R(x,y), R(y,x)"
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(Config{Workers: 4, CacheSize: 8})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func mustCreate(t *testing.T, e *Engine, initial string) string {
+	t.Helper()
+	info, err := e.CreateInstance(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.ID
+}
+
+func TestQueryEvaluates(t *testing.T) {
+	e := newTestEngine(t)
+	id := mustCreate(t, e, paperInstance)
+	u := query.MustParseUnion(paperQuery)
+	res, _, err := e.Query(context.Background(), id, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // (a) and (b)
+		t.Fatalf("got %d tuples, want 2:\n%s", res.Len(), res)
+	}
+	// P((a)) = r1^2 + r2*r3: the self-loop squared plus the 2-cycle.
+	var aProv string
+	for _, ot := range res.Tuples() {
+		if ot.Tuple.Key() == "a" {
+			aProv = ot.Prov.String()
+		}
+	}
+	if !strings.Contains(aProv, "r1^2") || !strings.Contains(aProv, "r2*r3") {
+		t.Fatalf("P((a)) = %q, want r1^2 + r2*r3", aProv)
+	}
+}
+
+func TestIngestVisibleToQueries(t *testing.T) {
+	e := newTestEngine(t)
+	id := mustCreate(t, e, "")
+	facts := []Fact{
+		{Rel: "R", Tag: "r1", Values: []string{"a", "a"}},
+		{Rel: "R", Tag: "r2", Values: []string{"a", "b"}},
+		{Rel: "R", Tag: "r3", Values: []string{"b", "a"}},
+	}
+	if err := e.Ingest(id, facts); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := e.Instance(id)
+	if !ok || info.Tuples != 3 {
+		t.Fatalf("instance info = %+v, want 3 tuples", info)
+	}
+	if info.Version == 0 {
+		t.Fatalf("version not bumped by ingest: %+v", info)
+	}
+	res, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("got %d tuples after ingest, want 2", res.Len())
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	e := newTestEngine(t)
+	id := mustCreate(t, e, "")
+	if err := e.Ingest(id, []Fact{{Rel: "", Tag: "t", Values: []string{"a"}}}); err == nil {
+		t.Fatal("want error for missing relation name")
+	}
+	if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "", Values: []string{"a"}}}); err == nil {
+		t.Fatal("want error for missing tag")
+	}
+	if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "r1", Values: []string{"a", "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Arity mismatch against the now-registered R/2.
+	if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "r2", Values: []string{"a"}}}); err == nil {
+		t.Fatal("want arity-mismatch error")
+	}
+	if err := e.Ingest("nope", []Fact{{Rel: "R", Tag: "r", Values: []string{"a"}}}); err == nil {
+		t.Fatal("want error for unknown instance")
+	}
+}
+
+// TestCoreCacheCorrectness is the satellite cache-correctness test: a
+// cached (warm) core-provenance run must yield a result identical to the
+// cold run, and both must agree with the direct Theorem 5.1 computation
+// that never touches the minimized query.
+func TestCoreCacheCorrectness(t *testing.T) {
+	ctx := context.Background()
+	queries := []string{
+		paperQuery,
+		"ans(x) :- R(x,y), R(y,x), R(x,x)",
+		"ans(x,y) :- R(x,z), R(z,y)",
+		"ans(x) :- R(x,y); ans(x) :- R(y,x)",
+	}
+	for _, qt := range queries {
+		cold := New(Config{Workers: 2, CacheSize: 8})
+		u := query.MustParseUnion(qt)
+		id := mustCreate(t, cold, paperInstance)
+
+		coldOut, err := cold.Core(ctx, id, u)
+		if err != nil {
+			t.Fatalf("%s: cold core: %v", qt, err)
+		}
+		if coldOut.CacheHit {
+			t.Fatalf("%s: first run reported a cache hit", qt)
+		}
+		warmOut, err := cold.Core(ctx, id, u)
+		if err != nil {
+			t.Fatalf("%s: warm core: %v", qt, err)
+		}
+		if !warmOut.CacheHit {
+			t.Fatalf("%s: second run missed the cache", qt)
+		}
+		if got, want := warmOut.Result.String(), coldOut.Result.String(); got != want {
+			t.Errorf("%s: warm core differs from cold:\nwarm: %s\ncold: %s", qt, got, want)
+		}
+		direct, err := cold.CoreDirect(ctx, id, u)
+		if err != nil {
+			t.Fatalf("%s: direct core: %v", qt, err)
+		}
+		if got, want := coldOut.Result.String(), direct.String(); got != want {
+			t.Errorf("%s: minimized-eval core differs from direct core:\nmin: %s\ndirect: %s", qt, got, want)
+		}
+		cold.Close()
+	}
+}
+
+func TestCacheSharedAcrossSyntacticVariants(t *testing.T) {
+	e := newTestEngine(t)
+	id := mustCreate(t, e, paperInstance)
+	ctx := context.Background()
+	if _, err := e.Core(ctx, id, query.MustParseUnion("ans(x) :- R(x,y), R(y,x)")); err != nil {
+		t.Fatal(err)
+	}
+	// Same query, atoms reordered: must hit the canonical-key cache.
+	out, err := e.Core(ctx, id, query.MustParseUnion("ans(x) :- R(y,x), R(x,y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Fatal("reordered atoms missed the cache; CanonicalKey not order-insensitive")
+	}
+	if e.CacheLen() != 1 {
+		t.Fatalf("cache has %d entries, want 1", e.CacheLen())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 2})
+	defer e.Close()
+	for _, qt := range []string{
+		"ans(x) :- R(x,y)",
+		"ans(x) :- R(y,x)",
+		"ans(x) :- R(x,x)",
+	} {
+		e.Minimize(query.MustParseUnion(qt))
+	}
+	if got := e.CacheLen(); got != 2 {
+		t.Fatalf("cache len = %d, want capacity 2", got)
+	}
+	// The first query was evicted (LRU): minimizing it again is a miss.
+	hits := e.Metrics().Counter("engine_cache_hits_total").Value()
+	if _, hit := e.Minimize(query.MustParseUnion("ans(x) :- R(x,y)")); hit {
+		t.Fatal("evicted entry reported as hit")
+	}
+	if e.Metrics().Counter("engine_cache_hits_total").Value() != hits {
+		t.Fatal("hit counter moved on a miss")
+	}
+	// The most recent one is still cached.
+	if _, hit := e.Minimize(query.MustParseUnion("ans(x) :- R(x,x)")); !hit {
+		t.Fatal("recent entry missed")
+	}
+}
+
+func TestAppsEndpointsLogic(t *testing.T) {
+	e := newTestEngine(t)
+	id := mustCreate(t, e, paperInstance)
+	ctx := context.Background()
+	u := query.MustParseUnion(paperQuery)
+	tup := []string{"a"}
+
+	// P((a)) = r1^2 + r2*r3 under p=1/2 each: 1-(1-1/4)(1-... ) — just
+	// sanity-check the value is in (0,1) and core gives the same answer.
+	p1, err := e.Probability(ctx, id, u, tup, ProbOpts{Default: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Probability(ctx, id, u, tup, ProbOpts{Default: 0.5, UseCore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= 0 || p1 >= 1 {
+		t.Fatalf("probability = %v, want in (0,1)", p1)
+	}
+	if diff := p1 - p2; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("core probability %v differs from full %v", p2, p1)
+	}
+
+	cost, err := e.Trust(ctx, id, u, tup, TrustOpts{Default: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest derivation of (a) is the self-loop used twice: tropical
+	// cost 2 under unit costs (monomial degree with multiplicity).
+	if cost != 2 {
+		t.Fatalf("trust cost = %v, want 2", cost)
+	}
+
+	conf, err := e.Trust(ctx, id, u, tup, TrustOpts{Default: 0.9, Confidence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf <= 0 || conf > 1 {
+		t.Fatalf("confidence = %v, want in (0,1]", conf)
+	}
+
+	del, err := e.Deletion(ctx, id, u, []string{"r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the self-loop r1 kills (b)'s only derivation r2*r3? No:
+	// (b)'s derivation is r3*r2 — unaffected; (a) survives via r2*r3.
+	if len(del.Survivors) != 2 || len(del.Lost) != 0 {
+		t.Fatalf("deletion r1: survivors=%v lost=%v, want 2/0", del.Survivors, del.Lost)
+	}
+	del, err = e.Deletion(ctx, id, u, []string{"r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without r2 the 2-cycle is gone: only (a) via the self-loop remains.
+	if len(del.Survivors) != 1 || len(del.Lost) != 1 {
+		t.Fatalf("deletion r2: survivors=%v lost=%v, want 1/1", del.Survivors, del.Lost)
+	}
+}
+
+func TestDropInstance(t *testing.T) {
+	e := newTestEngine(t)
+	id := mustCreate(t, e, paperInstance)
+	if !e.DropInstance(id) {
+		t.Fatal("drop failed")
+	}
+	if e.DropInstance(id) {
+		t.Fatal("second drop succeeded")
+	}
+	if _, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err == nil {
+		t.Fatal("query on dropped instance succeeded")
+	}
+	if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "r", Values: []string{"a", "a"}}}); err == nil {
+		t.Fatal("ingest on dropped instance succeeded")
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	e := New(Config{Workers: 2})
+	id := mustCreate(t, e, paperInstance)
+	e.Close()
+	e.Close() // idempotent
+	if _, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err == nil {
+		t.Fatal("query after close succeeded")
+	}
+	if _, err := e.CreateInstance(""); err == nil {
+		t.Fatal("create after close succeeded")
+	}
+}
+
+func TestBadQueryDoesNotKillEngine(t *testing.T) {
+	e := newTestEngine(t)
+	id := mustCreate(t, e, paperInstance)
+	// A query over a relation with the wrong arity errors cleanly.
+	u := query.MustParseUnion("ans(x) :- R(x,y,z)")
+	if _, _, err := e.Query(context.Background(), id, u); err == nil {
+		t.Fatal("want arity error")
+	}
+	// Engine still serves afterwards.
+	if _, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package metrics is a small, dependency-free instrumentation registry for
+// the provmind service: counters, gauges and latency histograms, exposed in
+// Prometheus text format and as a JSON snapshot. It exists so the engine and
+// server layers can record request counts, per-endpoint latency and cache
+// hit rates without pulling an external client library into the module.
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// defaultBuckets are latency bucket upper bounds in seconds, exponential
+// from 100µs to ~26s — provenance evaluation spans that whole range.
+var defaultBuckets = []float64{
+	0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are recorded
+// lock-free; bucket bounds are set at construction.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending
+	counts []atomic.Int64 // one per bound, plus +Inf at the end
+	sum    atomic.Int64   // total observed, in nanoseconds
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = defaultBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// from the bucket counts: the upper bound of the bucket containing the
+// q-th observation. Returns +Inf seconds when it falls in the overflow
+// bucket, 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Registry holds named metrics. Metric getters create on first use, so
+// callers never pre-register; names follow Prometheus conventions
+// (snake_case with _total/_seconds suffixes).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(nil)
+		r.hists[name] = h
+	}
+	return h
+}
+
+func (r *Registry) sortedNames() (cs, gs, hs []string) {
+	for n := range r.counters {
+		cs = append(cs, n)
+	}
+	for n := range r.gauges {
+		gs = append(gs, n)
+	}
+	for n := range r.hists {
+		hs = append(hs, n)
+	}
+	sort.Strings(cs)
+	sort.Strings(gs)
+	sort.Strings(hs)
+	return
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (gauges and counters as bare samples, histograms with _bucket,
+// _sum and _count series). Rendering happens into a buffer so the registry
+// mutex — which every hot-path metric getter takes — is never held across
+// a network write to a possibly slow scraper.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var buf bytes.Buffer
+	r.mu.Lock()
+	cs, gs, hs := r.sortedNames()
+	for _, n := range cs {
+		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", n, n, r.counters[n].Value())
+	}
+	for _, n := range gs {
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n", n, n, r.gauges[n].Value())
+	}
+	for _, n := range hs {
+		h := r.hists[n]
+		fmt.Fprintf(&buf, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&buf, "%s_bucket{le=\"%g\"} %d\n", n, b, cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(&buf, "%s_sum %g\n%s_count %d\n", n, h.Sum().Seconds(), n, h.Count())
+	}
+	r.mu.Unlock()
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Snapshot returns a JSON-friendly view of every metric: counters and
+// gauges as int64, histograms as {count, mean_seconds, p50, p99}.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]any{}
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		out[n] = map[string]any{
+			"count":        h.Count(),
+			"mean_seconds": h.Mean().Seconds(),
+			"p50_seconds":  finiteQuantile(h, 0.50),
+			"p99_seconds":  finiteQuantile(h, 0.99),
+		}
+	}
+	return out
+}
+
+// finiteQuantile is Quantile with +Inf (overflow bucket) clamped to the
+// largest bound, so snapshots stay JSON-encodable.
+func finiteQuantile(h *Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return v
+}

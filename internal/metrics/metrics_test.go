@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs_total") != c {
+		t.Fatalf("Counter did not return the same instance for one name")
+	}
+	g := r.Gauge("instances")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(10 * time.Second)
+	if got := h.Count(); got != 101 {
+		t.Fatalf("count = %d, want 101", got)
+	}
+	if m := h.Mean(); m < time.Millisecond || m > time.Second {
+		t.Fatalf("mean = %v, out of plausible range", m)
+	}
+	// p50 of 100×1ms + 1×10s lands in the 1.6ms bucket.
+	if q := h.Quantile(0.5); q > 0.01 {
+		t.Fatalf("p50 = %v, want <= 10ms", q)
+	}
+	if q := h.Quantile(1.0); q < 10 {
+		t.Fatalf("p100 = %v, want >= 10s bucket bound", q)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_cache_hits_total").Add(7)
+	r.Gauge("engine_instances").Set(2)
+	r.Histogram("http_request_seconds").Observe(3 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE engine_cache_hits_total counter",
+		"engine_cache_hits_total 7",
+		"# TYPE engine_instances gauge",
+		"engine_instances 2",
+		"# TYPE http_request_seconds histogram",
+		`http_request_seconds_bucket{le="+Inf"} 1`,
+		"http_request_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONEncodable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	h := r.Histogram("b_seconds")
+	// Land every observation in the overflow bucket so quantiles would be
+	// +Inf without clamping.
+	h.Observe(5 * time.Minute)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+	if !strings.Contains(string(data), "a_total") {
+		t.Fatalf("snapshot missing counter: %s", data)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total").Inc()
+				r.Histogram("h_seconds").Observe(time.Microsecond)
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,464 @@
+// Package server exposes the provenance engine as an HTTP/JSON API — the
+// provmind service. Endpoints:
+//
+//	POST   /instances                create an instance (optional seed facts)
+//	GET    /instances                list instances
+//	GET    /instances/{id}           describe one instance
+//	DELETE /instances/{id}           drop an instance
+//	POST   /instances/{id}/tuples    batched tuple ingest
+//	POST   /query                    evaluate with full provenance
+//	POST   /core                     core provenance (cached p-minimal form)
+//	GET    /core                     same, via ?instance= & ?q=
+//	POST   /prob                     derivation probability (apps/prob)
+//	POST   /trust                    trust cost / confidence (apps/trust)
+//	POST   /deletion                 deletion propagation (apps/deletion)
+//	GET    /metrics                  Prometheus text (or ?format=json)
+//	GET    /healthz                  liveness + instance count
+//
+// All request and response bodies are JSON; errors are {"error": "..."}
+// with a matching HTTP status.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"provmin/internal/db"
+	"provmin/internal/engine"
+	"provmin/internal/eval"
+	"provmin/internal/query"
+)
+
+// Server routes HTTP requests to an engine.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New builds a Server over eng and registers all routes.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.route("POST /instances", "create_instance", s.handleCreateInstance)
+	s.route("GET /instances", "list_instances", s.handleListInstances)
+	s.route("GET /instances/{id}", "get_instance", s.handleGetInstance)
+	s.route("DELETE /instances/{id}", "drop_instance", s.handleDropInstance)
+	s.route("POST /instances/{id}/tuples", "ingest", s.handleIngest)
+	s.route("POST /query", "query", s.handleQuery)
+	s.route("POST /core", "core", s.handleCore)
+	s.route("GET /core", "core", s.handleCoreGet)
+	s.route("POST /prob", "prob", s.handleProb)
+	s.route("POST /trust", "trust", s.handleTrust)
+	s.route("POST /deletion", "deletion", s.handleDeletion)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route registers a handler wrapped with request counting and latency
+// recording under http_<op>_* metric names.
+func (s *Server) route(pattern, op string, h func(w http.ResponseWriter, r *http.Request) error) {
+	reqs := s.eng.Metrics().Counter("http_requests_total")
+	errs := s.eng.Metrics().Counter("http_errors_total")
+	lat := s.eng.Metrics().Histogram("http_request_seconds")
+	opLat := s.eng.Metrics().Histogram("http_" + op + "_seconds")
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		if err := h(w, r); err != nil {
+			errs.Inc()
+			writeError(w, err)
+		}
+		d := time.Since(start)
+		lat.Observe(d)
+		opLat.Observe(d)
+	})
+}
+
+// apiError carries an HTTP status with an error.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &apiError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		status = ae.status
+	case errors.Is(err, engine.ErrClosed):
+		// Engine shut down while the HTTP server drains: availability,
+		// not client fault — tell well-behaved clients to retry.
+		status = http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "no such instance"):
+		status = http.StatusNotFound
+	case strings.Contains(err.Error(), "arity"):
+		// Arity mismatches surface from eval/db when a query or fact
+		// disagrees with the instance schema — client errors, not ours.
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// decodeJSON reads a JSON body into v, rejecting unknown fields so typos in
+// request payloads fail loudly instead of silently evaluating defaults.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// parseUnion parses query text, mapping failures to 400s.
+func parseUnion(text string) (*query.UCQ, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, badRequest("missing query")
+	}
+	u, err := query.ParseUnion(text)
+	if err != nil {
+		return nil, badRequest("parse query: %v", err)
+	}
+	return u, nil
+}
+
+// tupleOut is one annotated output tuple on the wire.
+type tupleOut struct {
+	Tuple      []string `json:"tuple"`
+	Provenance string   `json:"provenance"`
+}
+
+func resultOut(res *eval.Result) []tupleOut {
+	out := make([]tupleOut, 0, res.Len())
+	for _, t := range res.Tuples() {
+		out = append(out, tupleOut{Tuple: t.Tuple, Provenance: t.Prov.String()})
+	}
+	return out
+}
+
+func tuplesOut(ts []db.Tuple) [][]string {
+	out := make([][]string, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t)
+	}
+	return out
+}
+
+// --- instance management ---
+
+type createInstanceReq struct {
+	// Initial seeds the instance from db text format, one fact per line:
+	// "<relation> <tag> <value>...".
+	Initial string `json:"initial,omitempty"`
+	// Facts seeds the instance from structured facts.
+	Facts []engine.Fact `json:"facts,omitempty"`
+}
+
+func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) error {
+	var req createInstanceReq
+	if r.ContentLength != 0 {
+		if err := decodeJSON(r, &req); err != nil {
+			return err
+		}
+	}
+	info, err := s.eng.CreateInstance(req.Initial)
+	if err != nil {
+		if errors.Is(err, engine.ErrClosed) {
+			return err // mapped to 503 by writeError
+		}
+		return badRequest("%v", err) // parse failure of the seed facts
+	}
+	if len(req.Facts) > 0 {
+		if err := s.eng.Ingest(info.ID, req.Facts); err != nil {
+			s.eng.DropInstance(info.ID)
+			return badRequest("seed facts: %v", err)
+		}
+		info, _ = s.eng.Instance(info.ID)
+	}
+	writeJSON(w, http.StatusCreated, info)
+	return nil
+}
+
+func (s *Server) handleListInstances(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, map[string]any{"instances": s.eng.Instances()})
+	return nil
+}
+
+func (s *Server) handleGetInstance(w http.ResponseWriter, r *http.Request) error {
+	info, ok := s.eng.Instance(r.PathValue("id"))
+	if !ok {
+		return notFound("no such instance %q", r.PathValue("id"))
+	}
+	writeJSON(w, http.StatusOK, info)
+	return nil
+}
+
+func (s *Server) handleDropInstance(w http.ResponseWriter, r *http.Request) error {
+	if !s.eng.DropInstance(r.PathValue("id")) {
+		return notFound("no such instance %q", r.PathValue("id"))
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
+	return nil
+}
+
+type ingestReq struct {
+	Facts []engine.Fact `json:"facts"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	var req ingestReq
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if len(req.Facts) == 0 {
+		return badRequest("no facts to ingest")
+	}
+	id := r.PathValue("id")
+	if err := s.eng.Ingest(id, req.Facts); err != nil {
+		return err
+	}
+	info, _ := s.eng.Instance(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested": len(req.Facts),
+		"instance": info,
+	})
+	return nil
+}
+
+// --- query & core ---
+
+type queryReq struct {
+	Instance string `json:"instance"`
+	Query    string `json:"query"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req queryReq
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	u, err := parseUnion(req.Query)
+	if err != nil {
+		return err
+	}
+	res, version, err := s.eng.Query(r.Context(), req.Instance, u)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"instance": req.Instance,
+		"version":  version,
+		"class":    query.ClassOfUnion(u).String(),
+		"tuples":   resultOut(res),
+	})
+	return nil
+}
+
+type coreReq struct {
+	Instance string `json:"instance"`
+	Query    string `json:"query"`
+	// Direct bypasses the p-minimal query and computes cores from the
+	// provenance polynomials alone (Theorem 5.1).
+	Direct bool `json:"direct,omitempty"`
+}
+
+func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) error {
+	var req coreReq
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	return s.serveCore(w, r, req)
+}
+
+// handleCoreGet serves GET /core?instance=i1&q=... for quick curl use.
+func (s *Server) handleCoreGet(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	return s.serveCore(w, r, coreReq{
+		Instance: q.Get("instance"),
+		Query:    q.Get("q"),
+		Direct:   q.Get("direct") == "true",
+	})
+}
+
+func (s *Server) serveCore(w http.ResponseWriter, r *http.Request, req coreReq) error {
+	u, err := parseUnion(req.Query)
+	if err != nil {
+		return err
+	}
+	if req.Direct {
+		res, err := s.eng.CoreDirect(r.Context(), req.Instance, u)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"instance": req.Instance,
+			"direct":   true,
+			"tuples":   resultOut(res),
+		})
+		return nil
+	}
+	out, err := s.eng.Core(r.Context(), req.Instance, u)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"instance":  req.Instance,
+		"version":   out.Version,
+		"cache_hit": out.CacheHit,
+		"minimized": out.Minimized.String(),
+		"tuples":    resultOut(out.Result),
+	})
+	return nil
+}
+
+// --- provenance applications ---
+
+type probReq struct {
+	Instance  string             `json:"instance"`
+	Query     string             `json:"query"`
+	Tuple     []string           `json:"tuple"`
+	Probs     map[string]float64 `json:"probs,omitempty"`
+	Default   float64            `json:"default,omitempty"`
+	UseCore   bool               `json:"use_core,omitempty"`
+	MCSamples int                `json:"mc_samples,omitempty"`
+	Seed      int64              `json:"seed,omitempty"`
+}
+
+func (s *Server) handleProb(w http.ResponseWriter, r *http.Request) error {
+	var req probReq
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	u, err := parseUnion(req.Query)
+	if err != nil {
+		return err
+	}
+	p, err := s.eng.Probability(r.Context(), req.Instance, u, db.Tuple(req.Tuple), engine.ProbOpts{
+		Probs:     req.Probs,
+		Default:   req.Default,
+		UseCore:   req.UseCore,
+		MCSamples: req.MCSamples,
+		Seed:      req.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"probability": p})
+	return nil
+}
+
+type trustReq struct {
+	Instance string             `json:"instance"`
+	Query    string             `json:"query"`
+	Tuple    []string           `json:"tuple"`
+	Values   map[string]float64 `json:"values,omitempty"`
+	Default  float64            `json:"default,omitempty"`
+	// Mode is "cost" (tropical, default) or "confidence" (Viterbi).
+	Mode    string `json:"mode,omitempty"`
+	UseCore bool   `json:"use_core,omitempty"`
+}
+
+func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) error {
+	var req trustReq
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	u, err := parseUnion(req.Query)
+	if err != nil {
+		return err
+	}
+	switch req.Mode {
+	case "", "cost", "confidence":
+	default:
+		return badRequest("mode must be \"cost\" or \"confidence\", got %q", req.Mode)
+	}
+	v, err := s.eng.Trust(r.Context(), req.Instance, u, db.Tuple(req.Tuple), engine.TrustOpts{
+		Values:     req.Values,
+		Default:    req.Default,
+		Confidence: req.Mode == "confidence",
+		UseCore:    req.UseCore,
+	})
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"mode": modeName(req.Mode), "value": v})
+	return nil
+}
+
+func modeName(m string) string {
+	if m == "" {
+		return "cost"
+	}
+	return m
+}
+
+type deletionReq struct {
+	Instance string   `json:"instance"`
+	Query    string   `json:"query"`
+	Deleted  []string `json:"deleted"`
+}
+
+func (s *Server) handleDeletion(w http.ResponseWriter, r *http.Request) error {
+	var req deletionReq
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	u, err := parseUnion(req.Query)
+	if err != nil {
+		return err
+	}
+	out, err := s.eng.Deletion(r.Context(), req.Instance, u, req.Deleted)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"survivors": tuplesOut(out.Survivors),
+		"lost":      tuplesOut(out.Lost),
+	})
+	return nil
+}
+
+// --- operational endpoints ---
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.eng.Metrics().Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.eng.Metrics().WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"instances": len(s.eng.Instances()),
+	})
+}

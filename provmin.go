@@ -37,10 +37,29 @@
 //	pmin := provmin.MinProv(provmin.SingleQuery(q)) // p-minimal equivalent
 //	core, _ := provmin.CorePolynomial(resProv, d, tuple, q.Consts())
 //
-// The cmd/ directory ships a CLI (cmd/provmin), a replay of every worked
-// example in the paper (cmd/paperexamples) and the benchmark table generator
-// (cmd/benchtables). See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-versus-measured record.
+// # Service layer
+//
+// Beyond the one-shot functions above, the package exposes a long-lived
+// service core (see engine.go): NewEngine returns a concurrency-safe
+// [Engine] that hosts named annotated instances behind read-write locks,
+// bounds parallel evaluations with a worker pool, batches tuple ingest, and
+// keeps an LRU cache from canonical query forms to their p-minimal
+// equivalents — so repeated core-provenance requests skip MinProv, the
+// worst-case-exponential step. NewServerHandler wraps an Engine in the
+// provmind HTTP/JSON API (instances, query, core, prob, trust, deletion,
+// metrics), which cmd/provmind serves as a standalone process.
+//
+//	eng := provmin.NewEngine(provmin.EngineConfig{})
+//	defer eng.Close()
+//	info, _ := eng.CreateInstance("R r1 a a\nR r2 a b\nR r3 b a")
+//	out, _ := eng.Core(ctx, info.ID, provmin.MustParseUnion("ans(x) :- R(x,y), R(y,x)"))
+//	// out.Result holds core provenance; out.CacheHit reports a cache hit.
+//
+// The cmd/ directory ships a CLI (cmd/provmin), the provmind server
+// (cmd/provmind), a replay of every worked example in the paper
+// (cmd/paperexamples) and the benchmark table generator (cmd/benchtables).
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
 package provmin
 
 import (

@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — run every benchmark with -benchmem and record the results as
+# JSON for the performance trajectory. Raw `go test` output is kept next to
+# the JSON so regressions can be diffed by hand.
+#
+# Usage: scripts/bench.sh [output-dir]   (default: bench/)
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${1:-bench}"
+mkdir -p "$outdir"
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+raw="$outdir/bench-$stamp.txt"
+json="$outdir/bench-$stamp.json"
+
+go test -run 'XXX' -bench . -benchmem ./... | tee "$raw"
+
+# Convert "BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op" lines
+# into a JSON array with one object per benchmark.
+awk -v stamp="$stamp" '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "  {\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", stamp, name, $2, (ns == "" ? "null" : ns)
+    printf ",\"bytes_per_op\":%s,\"allocs_per_op\":%s}", (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+END { if (n) printf "\n"; print "]" }
+' "$raw" > "$json"
+
+echo "wrote $raw"
+echo "wrote $json"
