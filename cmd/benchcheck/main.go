@@ -1,0 +1,129 @@
+// Command benchcheck compares two bench.sh JSON files and fails when any
+// benchmark's ns/op regressed beyond a threshold — the CI regression gate.
+//
+// Usage:
+//
+//	benchcheck -baseline bench/baseline.json -new bench/bench-<ts>.json \
+//	           [-max-regress 25] [-min-ns 100]
+//
+// A benchmark counts as regressed when its new ns/op exceeds the baseline
+// by more than -max-regress percent AND the absolute slowdown is at least
+// -min-ns nanoseconds (so sub-100ns timer noise never trips the gate).
+// Benchmarks present on only one side are reported but never fail the
+// gate: new benchmarks have no baseline yet, and removed ones are a code
+// review matter, not a performance one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type entry struct {
+	TS       string   `json:"ts"`
+	Bench    string   `json:"bench"` // full name, cpu suffix included
+	Name     string   `json:"name"`  // trimmed display name
+	Iters    int64    `json:"iters"`
+	NsOp     *float64 `json:"ns_per_op"`
+	BytesOp  *float64 `json:"bytes_per_op"`
+	AllocsOp *float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []entry
+	if err := json.Unmarshal(raw, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]entry, len(list))
+	for _, e := range list {
+		// Key on the trimmed name: the -N cpu suffix varies with the
+		// machine's GOMAXPROCS (and is absent entirely on 1-CPU hosts),
+		// so the full name would never match across baseline and CI
+		// runners. When -cpu produces several entries per name, keep the
+		// slowest so the gate compares worst cases.
+		key := e.Name
+		if key == "" {
+			key = e.Bench
+		}
+		if key == "" || e.NsOp == nil {
+			continue
+		}
+		if prev, ok := out[key]; !ok || *e.NsOp > *prev.NsOp {
+			out[key] = e
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench/baseline.json", "baseline bench JSON")
+		newPath      = flag.String("new", "", "freshly recorded bench JSON")
+		maxRegress   = flag.Float64("max-regress", 25, "max allowed ns/op regression, percent")
+		minNs        = flag.Float64("min-ns", 100, "ignore regressions smaller than this many ns/op")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -new is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	var keys []string
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := 0
+	compared := 0
+	for _, k := range keys {
+		b, c := base[k], cur[k]
+		if _, ok := cur[k]; !ok {
+			fmt.Printf("MISSING  %-50s baseline %.1f ns/op, not in new run\n", k, *b.NsOp)
+			continue
+		}
+		compared++
+		oldNs, newNs := *b.NsOp, *c.NsOp
+		deltaPct := 0.0
+		if oldNs > 0 {
+			deltaPct = (newNs - oldNs) / oldNs * 100
+		}
+		status := "ok"
+		if deltaPct > *maxRegress && newNs-oldNs >= *minNs {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("%-9s %-50s %12.1f -> %12.1f ns/op  %+7.1f%%\n", status, k, oldNs, newNs, deltaPct)
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("NEW      %-50s %.1f ns/op (no baseline)\n", k, *cur[k].NsOp)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no comparable benchmarks — empty baseline or mismatched names")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d of %d benchmarks regressed more than %.0f%%\n", failed, compared, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of baseline\n", compared, *maxRegress)
+}

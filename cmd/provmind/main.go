@@ -1,24 +1,29 @@
 // Command provmind is the provenance-minimization service: a long-lived
 // HTTP server that hosts annotated database instances, evaluates UCQ≠
 // queries with provenance concurrently, and serves core provenance through
-// a cache of p-minimal query forms.
+// a cache of p-minimal query forms. With -data-dir it is durable: every
+// acknowledged create/ingest/drop is write-ahead-logged, and a restart
+// (even after SIGKILL) replays snapshot + WAL back into identical state.
 //
 // Usage:
 //
 //	provmind [-addr :8411] [-workers N] [-cache 1024]
-//	         [-batch 256] [-batch-wait 2ms]
+//	         [-batch 256] [-batch-wait 2ms] [-shards 8]
+//	         [-data-dir DIR] [-wal-sync always|interval|none]
+//	         [-wal-sync-interval 100ms]
 //
 // Endpoints (see internal/server): /instances, /query, /core, /prob,
-// /trust, /deletion, /metrics, /healthz.
+// /trust, /deletion, /admin/snapshot, /admin/compact, /metrics, /healthz.
 //
 // Quick start:
 //
-//	provmind -addr :8411 &
+//	provmind -addr :8411 -data-dir /var/lib/provmind &
 //	curl -s -X POST localhost:8411/instances \
 //	     -d '{"initial":"R r1 a a\nR r2 a b\nR r3 b a"}'
 //	curl -s -X POST localhost:8411/query \
 //	     -d '{"instance":"i1","query":"ans(x) :- R(x,y), R(y,x)"}'
 //	curl -s "localhost:8411/core?instance=i1&q=ans(x)+:-+R(x,y),+R(y,x)"
+//	curl -s -X POST localhost:8411/admin/compact
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,16 +39,22 @@ import (
 	"time"
 
 	"provmin/internal/engine"
+	"provmin/internal/metrics"
+	"provmin/internal/persist"
 	"provmin/internal/server"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8411", "listen address")
-		workers   = flag.Int("workers", 0, "evaluation worker count (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 1024, "minimized-query LRU cache entries")
-		batch     = flag.Int("batch", 256, "ingest batch size (facts)")
-		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max ingest batching delay")
+		addr         = flag.String("addr", ":8411", "listen address")
+		workers      = flag.Int("workers", 0, "evaluation worker count (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 1024, "minimized-query LRU cache entries")
+		batch        = flag.Int("batch", 256, "ingest batch size (facts)")
+		batchWait    = flag.Duration("batch-wait", 2*time.Millisecond, "max ingest batching delay")
+		shards       = flag.Int("shards", 8, "registry/WAL stripe count")
+		dataDir      = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
+		walSync      = flag.String("wal-sync", "always", "WAL durability: always, interval or none")
+		syncInterval = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period for -wal-sync interval")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -51,30 +63,66 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := metrics.NewRegistry()
+	var logStore *persist.Log
+	if *dataDir != "" {
+		mode, err := persist.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("provmind: %v", err)
+		}
+		start := time.Now()
+		logStore, err = persist.Open(persist.Options{
+			Dir:          *dataDir,
+			Shards:       *shards,
+			Sync:         mode,
+			SyncInterval: *syncInterval,
+			Metrics:      reg,
+		})
+		if err != nil {
+			log.Fatalf("provmind: open data dir: %v", err)
+		}
+		log.Printf("provmind: recovered %d instances from %s in %s (wal-sync=%s)",
+			len(logStore.Recovered()), *dataDir, time.Since(start).Round(time.Millisecond), mode)
+	}
+
 	eng := engine.New(engine.Config{
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
 		IngestBatchSize: *batch,
 		IngestMaxWait:   *batchWait,
+		Shards:          *shards,
+		Persist:         logStore,
+		Metrics:         reg,
 	})
 	defer eng.Close()
 
+	// Listen before logging so the printed address is the bound one —
+	// with ":0" the tests (and operators) can parse the real port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		// Not Fatalf: the engine (and with it the WAL) must close so
+		// buffered acknowledged records reach disk.
+		log.Printf("provmind: listen: %v", err)
+		eng.Close()
+		os.Exit(1)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           server.New(eng),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("provmind listening on %s (workers=%d cache=%d batch=%d/%s)",
-		*addr, *workers, *cacheSize, *batch, *batchWait)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("provmind listening on %s (workers=%d cache=%d batch=%d/%s shards=%d durable=%t)",
+		ln.Addr(), *workers, *cacheSize, *batch, *batchWait, *shards, logStore != nil)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("provmind: %v", err)
+		log.Printf("provmind: %v", err)
+		eng.Close() // flush + fsync the WAL before exiting
+		os.Exit(1)
 	case sig := <-sigc:
 		log.Printf("provmind: %v, shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

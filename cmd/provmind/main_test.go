@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinary compiles provmind once per test binary.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "provmind")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var listenPat = regexp.MustCompile(`listening on ([0-9.:\[\]]+)`)
+
+// startServer launches provmind on an ephemeral port and returns its base
+// URL and the running process.
+func startServer(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	// One goroutine both watches for the listen line and keeps draining
+	// stderr so the child never blocks on a full pipe.
+	sc := bufio.NewScanner(stderr)
+	addrc := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := listenPat.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, cmd
+	case <-time.After(15 * time.Second):
+		t.Fatal("provmind did not report a listening address")
+		return "", nil
+	}
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		resp, err = http.DefaultClient.Do(req)
+		if err == nil {
+			break
+		}
+		if attempt > 50 {
+			t.Fatalf("%s %s: %v", method, url, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if body != "" {
+			req.Body = io.NopCloser(strings.NewReader(body))
+		}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestSIGKILLRecovery is the acceptance scenario end to end on the real
+// binary: N acknowledged ingests, SIGKILL (no shutdown path at all), a
+// fresh process on the same -data-dir, and a byte-identical /core answer.
+func TestSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real processes")
+	}
+	bin := buildBinary(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-data-dir", dataDir, "-wal-sync", "always", "-shards", "4"}
+
+	url, cmd := startServer(t, bin, args...)
+	code, body := httpDo(t, "POST", url+"/instances", `{"initial":"R r1 a a\nR r2 a b\nR r3 b a"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	const n = 7
+	for i := 0; i < n; i++ {
+		code, body = httpDo(t, "POST", url+"/instances/i1/tuples",
+			fmt.Sprintf(`{"facts":[{"rel":"R","tag":"w%d","values":["n%d","a"]}]}`, i, i))
+		if code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, code, body)
+		}
+	}
+	coreQ := "/core?instance=i1&q=ans(x)+:-+R(x,y),+R(y,x)"
+	code, wantCore := httpDo(t, "GET", url+coreQ, "")
+	if code != http.StatusOK {
+		t.Fatalf("core: %d %s", code, wantCore)
+	}
+
+	// SIGKILL: the process gets no chance to flush or shut down.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	url2, _ := startServer(t, bin, args...)
+	code, info := httpDo(t, "GET", url2+"/instances/i1", "")
+	if code != http.StatusOK {
+		t.Fatalf("instance after restart: %d %s", code, info)
+	}
+	if want := fmt.Sprintf(`"tuples":%d`, 3+n); !strings.Contains(string(info), want) {
+		t.Fatalf("recovered instance %s, want %s — acknowledged ingests lost", info, want)
+	}
+	code, gotCore := httpDo(t, "GET", url2+coreQ, "")
+	if code != http.StatusOK {
+		t.Fatalf("core after restart: %d %s", code, gotCore)
+	}
+	if !bytes.Equal(gotCore, wantCore) {
+		t.Errorf("/core not byte-identical across SIGKILL:\npre:  %s\npost: %s", wantCore, gotCore)
+	}
+}
+
+// TestFlagValidation: bad -wal-sync must fail fast, not run undurable.
+func TestFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds real processes")
+	}
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "-data-dir", t.TempDir(), "-wal-sync", "sometimes")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad -wal-sync accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "sync mode") {
+		t.Errorf("error output %s", out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Errorf("unexpected error type %T: %v", err, err)
+	}
+	_ = os.Remove(bin)
+}

@@ -6,23 +6,24 @@ import (
 	"time"
 
 	"provmin/internal/db"
+	"provmin/internal/persist"
 )
 
 // Fact is one annotated tuple to ingest: relation name, provenance tag and
-// the tuple's values.
-type Fact struct {
-	Rel    string   `json:"rel"`
-	Tag    string   `json:"tag"`
-	Values []string `json:"values"`
-}
+// the tuple's values. It is the persist WAL fact type, so ingest batches
+// flow into the log without conversion.
+type Fact = persist.Fact
 
 // ingestBatcher coalesces concurrent tuple ingests into one write-lock
 // acquisition. Every Instance write invalidates the relation's column
 // indexes and contends with readers, so under concurrent load it pays to
 // gather facts for up to maxWait (or until batchSize is reached) and apply
-// them in a single critical section. Callers block until their facts are
+// them in a single critical section. When the engine is durable, one batch
+// is also one WAL record and one (group-shared) fsync — the fsync batching
+// piggybacks on the ingest batching. Callers block until their facts are
 // durably applied, so the batching is invisible except in throughput.
 type ingestBatcher struct {
+	eng       *Engine
 	inst      *instance
 	batchSize int
 	maxWait   time.Duration
@@ -38,7 +39,7 @@ type ingestReq struct {
 	resp  chan error
 }
 
-func newIngestBatcher(inst *instance, batchSize int, maxWait time.Duration) *ingestBatcher {
+func newIngestBatcher(eng *Engine, inst *instance, batchSize int, maxWait time.Duration) *ingestBatcher {
 	if batchSize < 1 {
 		batchSize = 256
 	}
@@ -46,6 +47,7 @@ func newIngestBatcher(inst *instance, batchSize int, maxWait time.Duration) *ing
 		maxWait = 2 * time.Millisecond
 	}
 	b := &ingestBatcher{
+		eng:       eng,
 		inst:      inst,
 		batchSize: batchSize,
 		maxWait:   maxWait,
@@ -141,43 +143,114 @@ func (b *ingestBatcher) loop() {
 	}
 }
 
-// flush applies every request's facts under one write lock. A bad fact
-// fails only its own request: earlier facts of that request stay applied
-// (Instance.Add is not transactional), which the API documents as
-// partial-failure semantics per batch entry.
+// flush validates every request, write-ahead-logs the valid ones as a
+// single record (when durable), and applies them under one write lock.
+// Requests are all-or-nothing: a bad fact rejects its whole request and
+// nothing of it is applied or logged — so every logged record replays
+// cleanly, and the in-memory state never runs ahead of the WAL.
 func (b *ingestBatcher) flush(batch []*ingestReq) {
 	if len(batch) == 0 {
 		return
 	}
-	b.inst.mu.Lock()
-	applied := 0
-	for _, req := range batch {
-		var err error
-		for _, f := range req.facts {
-			if e := addFact(b.inst.db, f); e != nil {
-				err = e
-				break
-			}
-			applied++
+	valid, rejected := b.validate(batch)
+	if len(valid) > 0 {
+		var facts []Fact
+		for _, req := range valid {
+			facts = append(facts, req.facts...)
 		}
+		applied := false
+		apply := func(seq uint64) {
+			applied = true
+			b.inst.mu.Lock()
+			for _, f := range facts {
+				// Validation guarantees application cannot fail.
+				_ = persist.ApplyFact(b.inst.db, f)
+			}
+			b.inst.version++
+			b.inst.lastSeq = seq
+			b.inst.mu.Unlock()
+		}
+		if log := b.eng.log; log != nil {
+			rec := persist.Record{Op: persist.OpIngest, ID: b.inst.id, Facts: facts}
+			if _, err := log.Commit(rec, apply); err != nil {
+				// Mirror the create/drop wording: an append failure means
+				// nothing was applied; a post-apply fsync failure means the
+				// facts are visible (and logged) but durability was not
+				// confirmed — the caller must not assume either way.
+				if applied {
+					err = fmt.Errorf("wal: applied but not confirmed durable: %w", err)
+				} else {
+					err = fmt.Errorf("wal: not applied: %w", err)
+				}
+				for _, req := range valid {
+					req.resp <- err
+				}
+				valid = nil
+			}
+		} else {
+			apply(0)
+		}
+	}
+	for _, req := range valid {
+		req.resp <- nil
+	}
+	for req, err := range rejected {
 		req.resp <- err
 	}
-	if applied > 0 {
-		b.inst.version++
-	}
-	b.inst.mu.Unlock()
 }
 
-func addFact(d *db.Instance, f Fact) error {
+// validate checks every request's facts against the instance schema before
+// anything is logged or applied. The batcher goroutine is the only writer,
+// but validation still takes the read lock so it composes with any future
+// writer. Relations a valid earlier request would create are visible to
+// later requests in the same batch (pending arities); a rejected request
+// contributes nothing.
+func (b *ingestBatcher) validate(batch []*ingestReq) (valid []*ingestReq, rejected map[*ingestReq]error) {
+	rejected = map[*ingestReq]error{}
+	pending := map[string]int{}
+	b.inst.mu.RLock()
+	defer b.inst.mu.RUnlock()
+	for _, req := range batch {
+		tentative := map[string]int{}
+		var err error
+		for _, f := range req.facts {
+			if err = checkFact(b.inst.db, pending, tentative, f); err != nil {
+				break
+			}
+		}
+		if err != nil {
+			rejected[req] = err
+			continue
+		}
+		for rel, ar := range tentative {
+			pending[rel] = ar
+		}
+		valid = append(valid, req)
+	}
+	return valid, rejected
+}
+
+// checkFact validates one fact against the live schema plus the arities of
+// relations that earlier facts in this batch will create.
+func checkFact(d *db.Instance, pending, tentative map[string]int, f Fact) error {
 	if f.Rel == "" {
 		return fmt.Errorf("fact missing relation name")
 	}
 	if f.Tag == "" {
 		return fmt.Errorf("fact %s%v missing provenance tag", f.Rel, f.Values)
 	}
-	rel, err := d.Relation(f.Rel, len(f.Values))
-	if err != nil {
-		return err
+	if rel := d.Lookup(f.Rel); rel != nil {
+		if rel.Arity != len(f.Values) {
+			return fmt.Errorf("relation %s: tuple %v has arity %d, want %d", f.Rel, f.Values, len(f.Values), rel.Arity)
+		}
+		return nil
 	}
-	return rel.Add(f.Tag, f.Values...)
+	if ar, ok := pending[f.Rel]; ok && ar != len(f.Values) {
+		return fmt.Errorf("relation %s: tuple %v has arity %d, want %d", f.Rel, f.Values, len(f.Values), ar)
+	}
+	if ar, ok := tentative[f.Rel]; ok && ar != len(f.Values) {
+		return fmt.Errorf("relation %s: tuple %v has arity %d, want %d", f.Rel, f.Values, len(f.Values), ar)
+	}
+	tentative[f.Rel] = len(f.Values)
+	return nil
 }

@@ -97,3 +97,42 @@ func BenchmarkIngestBatched(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRegistryContention measures concurrent registry traffic
+// (create, describe, drop) under different stripe counts: with one stripe
+// every operation serializes on a single RWMutex; with more, only
+// same-stripe operations contend.
+func BenchmarkRegistryContention(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := New(Config{Workers: 2, Shards: shards})
+			b.Cleanup(e.Close)
+			var seed []string
+			for i := 0; i < 64; i++ {
+				info, err := e.CreateInstance("")
+				if err != nil {
+					b.Fatal(err)
+				}
+				seed = append(seed, info.ID)
+			}
+			var n atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					switch i := n.Add(1); i % 8 {
+					case 0:
+						info, err := e.CreateInstance("")
+						if err != nil {
+							b.Fatal(err)
+						}
+						e.DropInstance(info.ID)
+					default:
+						if _, ok := e.Instance(seed[int(i)%len(seed)]); !ok {
+							b.Fatal("seed instance vanished")
+						}
+					}
+				}
+			})
+		})
+	}
+}

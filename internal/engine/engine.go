@@ -1,15 +1,21 @@
 // Package engine is the concurrent provenance-evaluation engine behind the
 // provmind service. It wraps the library's eval/minimize/direct layers with:
 //
-//   - a registry of named annotated instances, each guarded by a
-//     read-write lock so queries run in parallel with each other and
-//     serialize only against ingest;
+//   - a sharded registry of named annotated instances — N lock-striped
+//     shards keyed by FNV hash of the instance id, so registry operations
+//     on different instances contend only within a stripe — each instance
+//     guarded by a read-write lock so queries run in parallel with each
+//     other and serialize only against ingest;
 //   - a fixed-size worker pool bounding concurrent evaluations;
 //   - a per-instance ingest batcher that coalesces concurrent tuple
-//     writes into single write-lock acquisitions;
+//     writes into single write-lock acquisitions (and, when durability is
+//     on, single WAL records sharing group-commit fsyncs);
 //   - an LRU cache from canonical query forms to their p-minimal
 //     equivalents (MinProv output), so repeated core-provenance requests
-//     skip Algorithm 1 — the worst-case-exponential step — entirely.
+//     skip Algorithm 1 — the worst-case-exponential step — entirely;
+//   - an optional internal/persist write-ahead log: every acknowledged
+//     create/ingest/drop is logged before it mutates memory, and a
+//     restart replays snapshot + WAL back into an identical registry.
 //
 // The engine is safe for concurrent use by multiple goroutines.
 package engine
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"provmin/internal/apps/deletion"
@@ -30,6 +37,7 @@ import (
 	"provmin/internal/eval"
 	"provmin/internal/metrics"
 	"provmin/internal/minimize"
+	"provmin/internal/persist"
 	"provmin/internal/query"
 	"provmin/internal/semiring"
 )
@@ -47,6 +55,14 @@ type Config struct {
 	// IngestMaxWait flushes a non-empty ingest batch after this delay
 	// (default 2ms).
 	IngestMaxWait time.Duration
+	// Shards is the registry stripe count (default 8). When Persist is
+	// set its stripe count wins, so one WAL stripe covers exactly one
+	// registry stripe.
+	Shards int
+	// Persist enables durability: the engine adopts the log's recovered
+	// instances at construction, write-ahead-logs every mutation, and
+	// closes the log when the engine closes.
+	Persist *persist.Log
 	// Metrics receives engine counters and histograms; a private registry
 	// is created when nil.
 	Metrics *metrics.Registry
@@ -56,22 +72,46 @@ type Config struct {
 // availability condition, distinct from client errors.
 var ErrClosed = errors.New("engine closed")
 
+// ErrNoPersistence is returned by Snapshot/Compact when the engine runs
+// without a data directory.
+var ErrNoPersistence = errors.New("engine: durability disabled (no data directory)")
+
+// ErrInvalidSeed wraps seed-parse failures in CreateInstance so callers
+// can tell a malformed request (client fault) from a storage failure.
+var ErrInvalidSeed = errors.New("invalid seed facts")
+
 // Engine is a long-lived, concurrency-safe provenance service core.
 type Engine struct {
 	cfg   Config
 	reg   *metrics.Registry
 	pool  *pool
 	cache *minCache
+	log   *persist.Log // nil when running ephemeral
 
-	mu        sync.RWMutex
-	instances map[string]*instance
-	nextID    uint64
-	closed    bool
+	shards []*regShard
+	nextID atomic.Uint64
+	closed atomic.Bool
 
 	// sfMu/inflight give Minimize singleflight semantics: concurrent
 	// cache misses for one canonical key run MinProv once and share it.
 	sfMu     sync.Mutex
 	inflight map[string]*minFlight
+}
+
+// regShard is one registry stripe. Lock ordering: a shard's WAL mutex (in
+// persist, held across Commit and Snapshot) comes before regShard.mu,
+// which comes before instance.mu. count mirrors len(instances) so the
+// occupancy gauges refresh without touching any other stripe's lock.
+type regShard struct {
+	mu        sync.RWMutex
+	instances map[string]*instance
+	count     atomic.Int64
+}
+
+// shardOf maps an instance id to its registry stripe with the same FNV
+// hash persist uses for WAL stripes.
+func (e *Engine) shardOf(id string) *regShard {
+	return e.shards[persist.ShardFor(id, len(e.shards))]
 }
 
 // minFlight is one in-progress MinProv computation; min is valid (or nil,
@@ -86,14 +126,18 @@ type minFlight struct {
 type instance struct {
 	id string
 
-	mu      sync.RWMutex // guards db and version
+	mu      sync.RWMutex // guards db, version and lastSeq
 	db      *db.Instance
 	version uint64 // bumped on every applied ingest batch
+	lastSeq uint64 // last WAL sequence applied (0 when ephemeral)
 
 	batcher *ingestBatcher
 }
 
-// New creates an engine and starts its worker pool.
+// New creates an engine and starts its worker pool. With cfg.Persist set,
+// the engine adopts every instance the log recovered from disk — the
+// restart path of the paper's offline workflow (§1, §5): stored provenance
+// outlives the process that computed it.
 func New(cfg Config) *Engine {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 1024
@@ -102,38 +146,66 @@ func New(cfg Config) *Engine {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Engine{
-		cfg:       cfg,
-		reg:       reg,
-		pool:      newPool(cfg.Workers),
-		cache:     newMinCache(cfg.CacheSize),
-		instances: map[string]*instance{},
-		inflight:  map[string]*minFlight{},
+	nShards := cfg.Shards
+	if cfg.Persist != nil {
+		nShards = cfg.Persist.Shards()
 	}
+	if nShards <= 0 {
+		nShards = 8
+	}
+	e := &Engine{
+		cfg:      cfg,
+		reg:      reg,
+		pool:     newPool(cfg.Workers),
+		cache:    newMinCache(cfg.CacheSize),
+		log:      cfg.Persist,
+		shards:   make([]*regShard, nShards),
+		inflight: map[string]*minFlight{},
+	}
+	for i := range e.shards {
+		e.shards[i] = &regShard{instances: map[string]*instance{}}
+	}
+	if e.log != nil {
+		for _, rec := range e.log.TakeRecovered() {
+			in := &instance{id: rec.ID, db: rec.DB, version: rec.Version, lastSeq: rec.LastSeq}
+			in.batcher = newIngestBatcher(e, in, cfg.IngestBatchSize, cfg.IngestMaxWait)
+			sh := e.shardOf(rec.ID)
+			sh.instances[rec.ID] = in
+			sh.count.Add(1)
+		}
+		e.nextID.Store(e.log.NextID())
+	}
+	e.updateShardGauges()
+	return e
 }
 
 // Metrics returns the registry the engine records into.
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
-// Close stops the worker pool and all ingest batchers. In-flight work
-// completes; subsequent calls fail.
+// Durable reports whether the engine write-ahead-logs its mutations.
+func (e *Engine) Durable() bool { return e.log != nil }
+
+// Close stops the worker pool, all ingest batchers and (when durable) the
+// write-ahead log. In-flight work completes; subsequent calls fail.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
-	e.closed = true
-	insts := make([]*instance, 0, len(e.instances))
-	for _, in := range e.instances {
-		insts = append(insts, in)
+	var insts []*instance
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for _, in := range sh.instances {
+			insts = append(insts, in)
+		}
+		sh.mu.Unlock()
 	}
-	e.mu.Unlock()
-
 	for _, in := range insts {
 		in.batcher.close()
 	}
 	e.pool.close()
+	if e.log != nil {
+		_ = e.log.Close()
+	}
 }
 
 // InstanceInfo describes one instance for listings.
@@ -146,54 +218,191 @@ type InstanceInfo struct {
 
 // CreateInstance registers a new annotated instance, optionally seeded from
 // facts in the db text format ("<relation> <tag> <value>..." per line).
+// When durable, the create (with its seed text) is write-ahead-logged
+// before the instance becomes visible.
 func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 	d := db.NewInstance()
 	if initial != "" {
 		parsed, err := db.ParseInstance(initial)
 		if err != nil {
-			return InstanceInfo{}, fmt.Errorf("parse initial facts: %w", err)
+			return InstanceInfo{}, fmt.Errorf("%w: %v", ErrInvalidSeed, err)
 		}
 		d = parsed
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return InstanceInfo{}, ErrClosed
 	}
-	e.nextID++
-	in := &instance{id: fmt.Sprintf("i%d", e.nextID), db: d}
-	in.batcher = newIngestBatcher(in, e.cfg.IngestBatchSize, e.cfg.IngestMaxWait)
-	e.instances[in.id] = in
-	e.reg.Gauge("engine_instances").Set(int64(len(e.instances)))
+	in := &instance{id: fmt.Sprintf("i%d", e.nextID.Add(1)), db: d}
+	in.batcher = newIngestBatcher(e, in, e.cfg.IngestBatchSize, e.cfg.IngestMaxWait)
+	inserted := false
+	insert := func(uint64) {
+		sh := e.shardOf(in.id)
+		sh.mu.Lock()
+		// Re-check under the shard lock so a concurrent Close cannot miss
+		// this instance's batcher. (A durable create that loses this race
+		// has already been logged: replay will recreate it as an unowned
+		// instance on the next boot — recovery may contain more than was
+		// acknowledged, never less.)
+		if !e.closed.Load() {
+			sh.instances[in.id] = in
+			sh.count.Add(1)
+			inserted = true
+		}
+		sh.mu.Unlock()
+	}
+	if e.log != nil {
+		_, err := e.log.Commit(persist.Record{Op: persist.OpCreate, ID: in.id, Initial: initial}, insert)
+		if err != nil && !inserted {
+			// The append failed before anything mutated: a clean failure.
+			in.batcher.close()
+			return InstanceInfo{}, fmt.Errorf("create %s: %w", in.id, err)
+		}
+		if err != nil {
+			// The record was appended and applied but the fsync failed:
+			// the create is live in memory and may well be durable. Keep
+			// the instance (its batcher stays usable) and return its real
+			// info alongside the storage error, so the caller has a handle
+			// to the live instance instead of only an error string.
+			e.updateShardGauges()
+			return InstanceInfo{ID: in.id, Relations: len(d.Relations()), Tuples: d.NumTuples()},
+				fmt.Errorf("create %s: applied but not confirmed durable: %w", in.id, err)
+		}
+	} else {
+		insert(0)
+	}
+	if !inserted {
+		in.batcher.close()
+		return InstanceInfo{}, ErrClosed
+	}
+	e.updateShardGauges()
 	return InstanceInfo{ID: in.id, Relations: len(d.Relations()), Tuples: d.NumTuples()}, nil
 }
 
-// DropInstance removes an instance and stops its batcher.
-func (e *Engine) DropInstance(id string) bool {
-	e.mu.Lock()
-	in, ok := e.instances[id]
-	if ok {
-		delete(e.instances, id)
+// DropInstance removes an instance and stops its batcher. The boolean is
+// false when no such instance exists. When durable, the drop is
+// write-ahead-logged before the instance disappears; a log-append failure
+// leaves the instance fully in place and is reported as an error, distinct
+// from not-found. A drop that was applied but whose fsync failed still
+// returns an error — the instance is gone from memory but the drop may
+// not be durable.
+func (e *Engine) DropInstance(id string) (bool, error) {
+	sh := e.shardOf(id)
+	sh.mu.RLock()
+	in, ok := sh.instances[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return false, nil
 	}
-	e.reg.Gauge("engine_instances").Set(int64(len(e.instances)))
-	e.mu.Unlock()
-	if ok {
+	removed := false
+	remove := func(uint64) {
+		sh.mu.Lock()
+		if cur, ok := sh.instances[id]; ok && cur == in {
+			delete(sh.instances, id)
+			sh.count.Add(-1)
+			removed = true
+		}
+		sh.mu.Unlock()
+	}
+	if e.log != nil {
+		if _, err := e.log.Commit(persist.Record{Op: persist.OpDrop, ID: id}, remove); err != nil {
+			if !removed {
+				return false, fmt.Errorf("drop %s: %w", id, err)
+			}
+			e.updateShardGauges()
+			in.batcher.close()
+			return true, fmt.Errorf("drop %s: applied but not confirmed durable: %w", id, err)
+		}
+	} else {
+		remove(0)
+	}
+	e.updateShardGauges()
+	if removed {
 		in.batcher.close()
 	}
-	return ok
+	return removed, nil
+}
+
+// updateShardGauges refreshes total and per-stripe occupancy gauges from
+// the lock-free per-stripe counters, so create/drop on one stripe never
+// touches another stripe's lock.
+func (e *Engine) updateShardGauges() {
+	var total, maxN int64
+	minN := int64(-1)
+	for _, sh := range e.shards {
+		n := sh.count.Load()
+		total += n
+		if n > maxN {
+			maxN = n
+		}
+		if minN < 0 || n < minN {
+			minN = n
+		}
+	}
+	e.reg.Gauge("engine_instances").Set(total)
+	e.reg.Gauge("engine_shards").Set(int64(len(e.shards)))
+	e.reg.Gauge("engine_shard_max_instances").Set(maxN)
+	e.reg.Gauge("engine_shard_min_instances").Set(minN)
+}
+
+// InstanceCount returns the number of registered instances from the
+// lock-free stripe counters — cheap enough for liveness probes.
+func (e *Engine) InstanceCount() int {
+	var total int64
+	for _, sh := range e.shards {
+		total += sh.count.Load()
+	}
+	return int(total)
 }
 
 // Instances lists every instance, sorted by id.
 func (e *Engine) Instances() []InstanceInfo {
-	e.mu.RLock()
-	insts := make([]*instance, 0, len(e.instances))
-	for _, in := range e.instances {
-		insts = append(insts, in)
+	var insts []*instance
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for _, in := range sh.instances {
+			insts = append(insts, in)
+		}
+		sh.mu.RUnlock()
 	}
-	e.mu.RUnlock()
 	out := make([]InstanceInfo, 0, len(insts))
 	for _, in := range insts {
 		out = append(out, e.describe(in))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Snapshot writes the current state of every shard to its snapshot file
+// without touching the WAL; Compact additionally resets the WALs, bounding
+// replay time. Both fail with ErrNoPersistence on an ephemeral engine.
+func (e *Engine) Snapshot() (persist.SnapshotStats, error) { return e.snapshot(false) }
+
+// Compact snapshots every shard and resets its write-ahead log.
+func (e *Engine) Compact() (persist.SnapshotStats, error) { return e.snapshot(true) }
+
+func (e *Engine) snapshot(compact bool) (persist.SnapshotStats, error) {
+	if e.log == nil {
+		return persist.SnapshotStats{}, ErrNoPersistence
+	}
+	if e.closed.Load() {
+		return persist.SnapshotStats{}, ErrClosed
+	}
+	return e.log.Snapshot(e.captureShard, compact)
+}
+
+// captureShard deep-copies one registry stripe for a snapshot. It runs
+// with the stripe's WAL mutex held (see persist.Log.Snapshot), takes the
+// registry and instance locks in the documented order, and sorts by id so
+// snapshot files are deterministic.
+func (e *Engine) captureShard(k int) []persist.InstanceState {
+	sh := e.shards[k]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]persist.InstanceState, 0, len(sh.instances))
+	for _, in := range sh.instances {
+		in.mu.RLock()
+		out = append(out, persist.InstanceState{ID: in.id, DB: in.db.Clone(), Version: in.version, LastSeq: in.lastSeq})
+		in.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -220,12 +429,13 @@ func (e *Engine) describe(in *instance) InstanceInfo {
 }
 
 func (e *Engine) lookup(id string) (*instance, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+	if e.closed.Load() {
 		return nil, ErrClosed
 	}
-	in, ok := e.instances[id]
+	sh := e.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	in, ok := sh.instances[id]
 	if !ok {
 		return nil, fmt.Errorf("no such instance %q", id)
 	}
@@ -233,8 +443,13 @@ func (e *Engine) lookup(id string) (*instance, error) {
 }
 
 // Ingest applies a group of facts to an instance through its batcher; it
-// blocks until the facts are visible to queries. Facts of one call are
-// applied atomically with respect to concurrent queries.
+// blocks until the facts are visible to queries (and, when durable, logged
+// — with SyncAlways, fsynced). Facts of one call are applied atomically:
+// with respect to concurrent queries, and also on failure — one bad fact
+// rejects the whole call without applying any of it. The one exception is
+// a WAL fsync failure after the facts were logged and applied: the error
+// then says "applied but not confirmed durable", and callers must treat
+// the write as neither lost nor guaranteed.
 func (e *Engine) Ingest(id string, facts []Fact) error {
 	in, err := e.lookup(id)
 	if err != nil {

@@ -257,10 +257,10 @@ func TestAppsEndpointsLogic(t *testing.T) {
 func TestDropInstance(t *testing.T) {
 	e := newTestEngine(t)
 	id := mustCreate(t, e, paperInstance)
-	if !e.DropInstance(id) {
-		t.Fatal("drop failed")
+	if ok, err := e.DropInstance(id); !ok || err != nil {
+		t.Fatalf("drop: ok=%t err=%v", ok, err)
 	}
-	if e.DropInstance(id) {
+	if ok, _ := e.DropInstance(id); ok {
 		t.Fatal("second drop succeeded")
 	}
 	if _, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err == nil {

@@ -1,0 +1,52 @@
+package persist
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// benchCommit measures WAL commit throughput for one sync mode; with
+// SyncAlways the interesting number is how far group commit pushes the
+// commit rate above the raw fsync rate.
+func benchCommit(b *testing.B, mode SyncMode, parallel bool) {
+	l, err := Open(Options{Dir: b.TempDir(), Shards: 4, Sync: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	for i := 1; i <= 4; i++ {
+		if _, err := l.Commit(Record{Op: OpCreate, ID: fmt.Sprintf("i%d", i)}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var n atomic.Int64
+	commit := func() {
+		i := n.Add(1)
+		rec := Record{Op: OpIngest, ID: fmt.Sprintf("i%d", i%4+1), Facts: []Fact{
+			{Rel: "R", Tag: fmt.Sprintf("t%d", i), Values: []string{"a", "b"}},
+		}}
+		if _, err := l.Commit(rec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				commit()
+			}
+		})
+	} else {
+		for i := 0; i < b.N; i++ {
+			commit()
+		}
+	}
+	if mode == SyncAlways && parallel {
+		b.ReportMetric(float64(l.reg.Counter("persist_wal_fsyncs_total").Value())/float64(b.N), "fsyncs/op")
+	}
+}
+
+func BenchmarkWALCommitNone(b *testing.B)           { benchCommit(b, SyncNone, false) }
+func BenchmarkWALCommitAlways(b *testing.B)         { benchCommit(b, SyncAlways, false) }
+func BenchmarkWALCommitAlwaysParallel(b *testing.B) { benchCommit(b, SyncAlways, true) }

@@ -12,6 +12,8 @@
 //	POST   /prob                     derivation probability (apps/prob)
 //	POST   /trust                    trust cost / confidence (apps/trust)
 //	POST   /deletion                 deletion propagation (apps/deletion)
+//	POST   /admin/snapshot           write durable snapshots (keep WAL)
+//	POST   /admin/compact            snapshot + reset write-ahead logs
 //	GET    /metrics                  Prometheus text (or ?format=json)
 //	GET    /healthz                  liveness + instance count
 //
@@ -31,6 +33,7 @@ import (
 	"provmin/internal/db"
 	"provmin/internal/engine"
 	"provmin/internal/eval"
+	"provmin/internal/persist"
 	"provmin/internal/query"
 )
 
@@ -54,6 +57,8 @@ func New(eng *engine.Engine) *Server {
 	s.route("POST /prob", "prob", s.handleProb)
 	s.route("POST /trust", "trust", s.handleTrust)
 	s.route("POST /deletion", "deletion", s.handleDeletion)
+	s.route("POST /admin/snapshot", "snapshot", s.handleSnapshot)
+	s.route("POST /admin/compact", "compact", s.handleCompact)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -190,14 +195,28 @@ func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) er
 	}
 	info, err := s.eng.CreateInstance(req.Initial)
 	if err != nil {
-		if errors.Is(err, engine.ErrClosed) {
+		switch {
+		case errors.Is(err, engine.ErrClosed):
 			return err // mapped to 503 by writeError
+		case errors.Is(err, engine.ErrInvalidSeed):
+			return badRequest("%v", err)
+		default:
+			// A durable-storage failure, not a malformed request: 500, so
+			// clients retry instead of "fixing" a request that was fine.
+			// When the create was applied but not confirmed durable, the
+			// engine still returns the live instance's info — name it, so
+			// the client can find (and drop or reuse) the orphan instead
+			// of blindly retrying into duplicates.
+			if info.ID != "" {
+				return &apiError{status: http.StatusInternalServerError,
+					msg: fmt.Sprintf("%v (instance %s is live but its creation is not confirmed durable)", err, info.ID)}
+			}
+			return err
 		}
-		return badRequest("%v", err) // parse failure of the seed facts
 	}
 	if len(req.Facts) > 0 {
 		if err := s.eng.Ingest(info.ID, req.Facts); err != nil {
-			s.eng.DropInstance(info.ID)
+			_, _ = s.eng.DropInstance(info.ID)
 			return badRequest("seed facts: %v", err)
 		}
 		info, _ = s.eng.Instance(info.ID)
@@ -221,7 +240,13 @@ func (s *Server) handleGetInstance(w http.ResponseWriter, r *http.Request) error
 }
 
 func (s *Server) handleDropInstance(w http.ResponseWriter, r *http.Request) error {
-	if !s.eng.DropInstance(r.PathValue("id")) {
+	dropped, err := s.eng.DropInstance(r.PathValue("id"))
+	if err != nil {
+		// A WAL failure, not a missing instance: 500, so the client never
+		// mistakes a live (or non-durably-dropped) instance for deleted.
+		return err
+	}
+	if !dropped {
 		return notFound("no such instance %q", r.PathValue("id"))
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
@@ -447,6 +472,42 @@ func (s *Server) handleDeletion(w http.ResponseWriter, r *http.Request) error {
 
 // --- operational endpoints ---
 
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	return s.serveSnapshot(w, false)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) error {
+	return s.serveSnapshot(w, true)
+}
+
+func (s *Server) serveSnapshot(w http.ResponseWriter, compact bool) error {
+	var (
+		stats persist.SnapshotStats
+		err   error
+	)
+	if compact {
+		stats, err = s.eng.Compact()
+	} else {
+		stats, err = s.eng.Snapshot()
+	}
+	switch {
+	case errors.Is(err, engine.ErrNoPersistence):
+		// The operator asked a memory-only deployment to persist: a
+		// configuration conflict, not a malformed request.
+		return &apiError{status: http.StatusConflict, msg: err.Error()}
+	case err != nil:
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":           stats.Shards,
+		"instances":        stats.Instances,
+		"bytes":            stats.Bytes,
+		"compacted":        stats.Compacted,
+		"duration_seconds": stats.Duration.Seconds(),
+	})
+	return nil
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, s.eng.Metrics().Snapshot())
@@ -459,6 +520,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"instances": len(s.eng.Instances()),
+		"instances": s.eng.InstanceCount(),
+		"durable":   s.eng.Durable(),
 	})
 }

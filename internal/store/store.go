@@ -4,6 +4,13 @@
 // later — possibly on another machine, without the query — the core
 // provenance of any output tuple is computed directly from the stored
 // polynomial plus the stored database (Theorem 5.1).
+//
+// The same Envelope doubles as the snapshot record of the provmind
+// durability layer (internal/persist): format version 2 adds the instance
+// identity, the engine-visible instance version and the last applied WAL
+// sequence number, so a snapshot plus a WAL suffix reconstructs an
+// instance exactly. Version-2 readers still decode version-1 files;
+// version-1-only readers refuse version-2 files with a clear error.
 package store
 
 import (
@@ -20,13 +27,22 @@ import (
 type Envelope struct {
 	// Version of the format; bumped on breaking changes.
 	Version int `json:"version"`
+	// Instance names the engine instance this envelope captures (v2;
+	// empty in offline-workflow files).
+	Instance string `json:"instance,omitempty"`
+	// InstanceVersion is the engine's instance version counter at capture
+	// time (v2): one increment per applied ingest batch.
+	InstanceVersion uint64 `json:"instance_version,omitempty"`
+	// LastSeq is the last write-ahead-log sequence number reflected in
+	// this envelope (v2); replay applies only records with a larger seq.
+	LastSeq uint64 `json:"last_seq,omitempty"`
 	// Consts are the query constants, needed for exact direct minimization
 	// (Theorem 5.1 part 2). May be empty.
 	Consts []string `json:"consts,omitempty"`
 	// Database is the annotated input instance.
 	Database []StoredRelation `json:"database"`
 	// Result is the annotated query output.
-	Result []StoredTuple `json:"result"`
+	Result []StoredTuple `json:"result,omitempty"`
 }
 
 // StoredRelation is one relation of the instance.
@@ -49,12 +65,19 @@ type StoredTuple struct {
 	Provenance string   `json:"provenance"`
 }
 
-// FormatVersion is the current envelope version.
-const FormatVersion = 1
+// FormatVersion is the newest envelope version this package understands.
+// Readers accept every version from 1 through FormatVersion; writers emit
+// the lowest version that expresses their fields (NewEnvelope stamps 1,
+// and the persist snapshot layer raises it to 2 for its instance fields).
+const FormatVersion = 2
 
-// Write serializes the instance, result and constants to w.
-func Write(w io.Writer, d *db.Instance, res *eval.Result, consts []string) error {
-	env := Envelope{Version: FormatVersion, Consts: consts}
+// NewEnvelope captures an instance, an optional annotated result and the
+// query constants into an envelope. It stamps version 1 — everything it
+// fills is v1-expressible, so plain offline-workflow files stay readable
+// by older releases; writers that set any v2 field (the persist snapshot
+// layer) must raise Version to FormatVersion themselves.
+func NewEnvelope(d *db.Instance, res *eval.Result, consts []string) Envelope {
+	env := Envelope{Version: 1, Consts: consts}
 	for _, r := range d.Relations() {
 		sr := StoredRelation{Name: r.Name, Arity: r.Arity}
 		for _, row := range r.Rows() {
@@ -62,27 +85,48 @@ func Write(w io.Writer, d *db.Instance, res *eval.Result, consts []string) error
 		}
 		env.Database = append(env.Database, sr)
 	}
-	for _, ot := range res.Tuples() {
-		env.Result = append(env.Result, StoredTuple{
-			Values:     append([]string{}, ot.Tuple...),
-			Provenance: ot.Prov.String(),
-		})
+	if res != nil {
+		for _, ot := range res.Tuples() {
+			env.Result = append(env.Result, StoredTuple{
+				Values:     append([]string{}, ot.Tuple...),
+				Provenance: ot.Prov.String(),
+			})
+		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(env)
+	return env
 }
 
-// Read deserializes an envelope, reconstructing the instance and the
-// annotated result.
-func Read(r io.Reader) (*db.Instance, *eval.Result, []string, error) {
+// DecodeEnvelope reads one envelope from r, enforcing the version window a
+// reader supports: files newer than maxVersion are refused with an error
+// that names both versions, so a v1-only reader fails loudly on v2 files
+// instead of silently dropping the v2 fields.
+func DecodeEnvelope(r io.Reader, maxVersion int) (*Envelope, error) {
 	var env Envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, nil, nil, fmt.Errorf("decode provenance store: %w", err)
+		return nil, fmt.Errorf("decode provenance store: %w", err)
 	}
-	if env.Version != FormatVersion {
-		return nil, nil, nil, fmt.Errorf("unsupported store version %d (want %d)", env.Version, FormatVersion)
+	if err := env.CheckVersion(maxVersion); err != nil {
+		return nil, err
 	}
+	return &env, nil
+}
+
+// CheckVersion validates the envelope's declared version against the
+// reader's capability.
+func (env *Envelope) CheckVersion(maxVersion int) error {
+	if env.Version < 1 {
+		return fmt.Errorf("store: missing or invalid format version %d", env.Version)
+	}
+	if env.Version > maxVersion {
+		return fmt.Errorf("store: file format version %d is newer than this reader supports (max %d); upgrade the reader", env.Version, maxVersion)
+	}
+	return nil
+}
+
+// Decode reconstructs the instance, the annotated result and the constants
+// from an already version-checked envelope. Version 1 and 2 share the
+// database/result layout, so one decoder serves both.
+func (env *Envelope) Decode() (*db.Instance, *eval.Result, []string, error) {
 	d := db.NewInstance()
 	for _, sr := range env.Database {
 		rel, err := d.Relation(sr.Name, sr.Arity)
@@ -105,4 +149,22 @@ func Read(r io.Reader) (*db.Instance, *eval.Result, []string, error) {
 	}
 	res.Finish()
 	return d, res, env.Consts, nil
+}
+
+// Write serializes the instance, result and constants to w.
+func Write(w io.Writer, d *db.Instance, res *eval.Result, consts []string) error {
+	env := NewEnvelope(d, res, consts)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// Read deserializes an envelope, reconstructing the instance and the
+// annotated result. It accepts every format version up to FormatVersion.
+func Read(r io.Reader) (*db.Instance, *eval.Result, []string, error) {
+	env, err := DecodeEnvelope(r, FormatVersion)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return env.Decode()
 }

@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -83,6 +85,9 @@ func TestReadErrors(t *testing.T) {
 	if _, _, _, err := Read(strings.NewReader(`{"version": 99}`)); err == nil {
 		t.Error("unknown version must fail")
 	}
+	if _, _, _, err := Read(strings.NewReader(`{"version": 0}`)); err == nil {
+		t.Error("missing version must fail")
+	}
 	bad := `{"version":1,"result":[{"values":["a"],"provenance":"not a poly ("}]}`
 	if _, _, _, err := Read(strings.NewReader(bad)); err == nil {
 		t.Error("bad polynomial must fail")
@@ -90,6 +95,93 @@ func TestReadErrors(t *testing.T) {
 	badArity := `{"version":1,"database":[{"name":"R","arity":2,"rows":[{"tag":"s1","values":["a"]}]}]}`
 	if _, _, _, err := Read(strings.NewReader(badArity)); err == nil {
 		t.Error("arity mismatch must fail")
+	}
+}
+
+// TestGoldenV1StillDecodes pins backward compatibility: a version-1 file
+// committed before the version-2 bump must keep decoding byte-for-byte.
+func TestGoldenV1StillDecodes(t *testing.T) {
+	f, err := os.Open("testdata/v1_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, res, consts, err := Read(f)
+	if err != nil {
+		t.Fatalf("v1 golden file must decode with a v2 reader: %v", err)
+	}
+	if len(consts) != 1 || consts[0] != "c" {
+		t.Errorf("consts = %v, want [c]", consts)
+	}
+	if d.NumTuples() != 3 || d.Lookup("R").TagOf("a", "b") != "s2" {
+		t.Errorf("database lost in v1 decode:\n%s", d)
+	}
+	if res.Len() != 2 {
+		t.Errorf("result rows = %d, want 2", res.Len())
+	}
+	p, err := eval.Provenance(query.MustParseUnion("ans(x) :- R(x,y), R(y,x)"), d, db.Tuple{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Tuples()[0]
+	if got.Prov.String() != p.String() {
+		t.Errorf("golden provenance %q, re-evaluated %q", got.Prov, p)
+	}
+}
+
+// TestV2RefusedByV1Reader is the forward-compatibility half: a reader that
+// only understands version 1 must refuse a version-2 file with an error
+// naming both versions, not silently drop the v2 fields.
+func TestV2RefusedByV1Reader(t *testing.T) {
+	d := db.NewInstance()
+	d.MustAdd("R", "s1", "a")
+	env := NewEnvelope(d, nil, nil)
+	env.Version = FormatVersion // as the snapshot layer writes it
+	env.Instance = "i1"
+	env.LastSeq = 7
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeEnvelope(bytes.NewReader(raw), 1)
+	if err == nil {
+		t.Fatal("v1-only reader accepted a v2 file")
+	}
+	for _, want := range []string{"version 2", "max 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("refusal error %q does not mention %q", err, want)
+		}
+	}
+	// The same bytes decode fine with the current reader.
+	if _, err := DecodeEnvelope(bytes.NewReader(raw), FormatVersion); err != nil {
+		t.Fatalf("v2 reader refused its own file: %v", err)
+	}
+}
+
+// TestEnvelopeV2RoundTrip exercises the v2-only fields end to end.
+func TestEnvelopeV2RoundTrip(t *testing.T) {
+	d := workload.Table2()
+	env := NewEnvelope(d, nil, nil)
+	env.Instance = "i7"
+	env.InstanceVersion = 42
+	env.LastSeq = 99
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(bytes.NewReader(raw), FormatVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Instance != "i7" || got.InstanceVersion != 42 || got.LastSeq != 99 {
+		t.Errorf("v2 fields lost: %+v", got)
+	}
+	d2, _, _, err := got.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumTuples() != d.NumTuples() {
+		t.Errorf("tuples = %d, want %d", d2.NumTuples(), d.NumTuples())
 	}
 }
 
@@ -104,6 +196,8 @@ func TestStoreIsHumanReadable(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := buf.String()
+	// Plain offline files stay version 1 (no v2 field is used), so older
+	// readers keep accepting them.
 	for _, want := range []string{`"version": 1`, `"tag": "s1"`, `"provenance": "s1"`, `"consts"`} {
 		if !strings.Contains(s, want) {
 			t.Errorf("stored JSON missing %q:\n%s", want, s)

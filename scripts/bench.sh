@@ -3,36 +3,98 @@
 # JSON for the performance trajectory. Raw `go test` output is kept next to
 # the JSON so regressions can be diffed by hand.
 #
-# Usage: scripts/bench.sh [output-dir]   (default: bench/)
+# Usage:
+#   scripts/bench.sh [options] [output-dir]      (default output-dir: bench/)
+#
+# Options:
+#   --check               compare the fresh run against the committed
+#                         baseline (bench/baseline.json) with benchcheck
+#                         and exit non-zero on a >25% ns/op regression
+#   --update-baseline     copy the fresh run over bench/baseline.json
+#   --benchtime D         pass -benchtime D to `go test` (default 100ms;
+#                         the baseline must be recorded with the same D)
+#   --baseline FILE       baseline path for --check (default bench/baseline.json)
+#
+# The emitter tolerates benchmark lines without an iterations count (a
+# failed benchmark prints its name alone) and -cpu runs that yield several
+# entries per benchmark: the full name, cpu suffix included, is kept as the
+# unique "bench" key next to the trimmed display "name".
 set -eu
 
-cd "$(dirname "$0")/.."
-outdir="${1:-bench}"
+cd "$(dirname "$0")/.." || exit 1
+
+outdir="bench"
+benchtime="100ms"
+baseline="bench/baseline.json"
+check=0
+update=0
+
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        --check) check=1 ;;
+        --update-baseline) update=1 ;;
+        --benchtime)
+            [ "$#" -ge 2 ] || { echo "bench.sh: --benchtime needs a value" >&2; exit 2; }
+            benchtime="$2"; shift ;;
+        --baseline)
+            [ "$#" -ge 2 ] || { echo "bench.sh: --baseline needs a value" >&2; exit 2; }
+            baseline="$2"; shift ;;
+        -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+        -*) echo "bench.sh: unknown option $1" >&2; exit 2 ;;
+        *) outdir="$1" ;;
+    esac
+    shift
+done
+
 mkdir -p "$outdir"
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 raw="$outdir/bench-$stamp.txt"
 json="$outdir/bench-$stamp.json"
 
-go test -run 'XXX' -bench . -benchmem ./... | tee "$raw"
+# No pipe into tee: a benchmark panic must fail this script (and the CI
+# bench job), not vanish behind tee's exit status.
+rc=0
+go test -run 'XXX' -bench . -benchmem -benchtime "$benchtime" ./... >"$raw" 2>&1 || rc=$?
+cat "$raw"
+if [ "$rc" -ne 0 ]; then
+    echo "bench.sh: go test -bench failed (exit $rc)" >&2
+    exit "$rc"
+fi
 
 # Convert "BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op" lines
-# into a JSON array with one object per benchmark.
+# into a JSON array with one object per benchmark line. Lines without an
+# iteration count (failed benchmarks) are skipped; only a trailing -N cpu
+# suffix is trimmed for the display name, so dashes inside benchmark and
+# sub-benchmark names survive.
 awk -v stamp="$stamp" '
 BEGIN { print "[" }
 /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns = $i
-        if ($(i+1) == "B/op")      bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+    if (NF < 4 || $2 !~ /^[0-9]+$/) next     # no iterations line: skip
+    full = $1
+    name = full
+    sub(/-[0-9]+$/, "", name)                # cpu-count suffix only
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op"     && $i ~ /^[0-9.eE+-]+$/) ns = $i
+        if ($(i+1) == "B/op"      && $i ~ /^[0-9.eE+-]+$/) bytes = $i
+        if ($(i+1) == "allocs/op" && $i ~ /^[0-9.eE+-]+$/) allocs = $i
     }
+    if (ns == "null") next                   # not a timing line
     if (n++) printf ",\n"
-    printf "  {\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", stamp, name, $2, (ns == "" ? "null" : ns)
-    printf ",\"bytes_per_op\":%s,\"allocs_per_op\":%s}", (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+    printf "  {\"ts\":\"%s\",\"bench\":\"%s\",\"name\":\"%s\",\"iters\":%s", stamp, full, name, $2
+    printf ",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", ns, bytes, allocs
 }
 END { if (n) printf "\n"; print "]" }
 ' "$raw" > "$json"
 
 echo "wrote $raw"
 echo "wrote $json"
+
+if [ "$update" -eq 1 ]; then
+    cp "$json" "$baseline"
+    echo "updated $baseline"
+fi
+
+if [ "$check" -eq 1 ]; then
+    go run ./cmd/benchcheck -baseline "$baseline" -new "$json" -max-regress 25
+fi
