@@ -53,10 +53,11 @@ func BenchmarkEvalAblation(b *testing.B) {
 		name string
 		opts eval.Options
 	}{
-		{"greedy+index", eval.Options{Order: eval.OrderGreedy}},
-		{"as-written+index", eval.Options{Order: eval.OrderAsWritten}},
-		{"greedy-noindex", eval.Options{Order: eval.OrderGreedy, NoIndex: true}},
-		{"naive", eval.Options{Order: eval.OrderAsWritten, NoIndex: true}},
+		{"hash-join", eval.Options{Join: eval.JoinHash}},
+		{"greedy+index", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderGreedy}},
+		{"as-written+index", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderAsWritten}},
+		{"greedy-noindex", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderGreedy, NoIndex: true}},
+		{"naive", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderAsWritten, NoIndex: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

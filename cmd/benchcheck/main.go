@@ -4,14 +4,18 @@
 // Usage:
 //
 //	benchcheck -baseline bench/baseline.json -new bench/bench-<ts>.json \
-//	           [-max-regress 25] [-min-ns 100]
+//	           [-max-regress 25] [-min-ns 100] [-strict]
 //
 // A benchmark counts as regressed when its new ns/op exceeds the baseline
 // by more than -max-regress percent AND the absolute slowdown is at least
 // -min-ns nanoseconds (so sub-100ns timer noise never trips the gate).
-// Benchmarks present on only one side are reported but never fail the
-// gate: new benchmarks have no baseline yet, and removed ones are a code
-// review matter, not a performance one.
+// Benchmarks only in the new run never fail the gate (they have no
+// baseline yet). Benchmarks only in the baseline print MISSING; by default
+// that is informational, but with -strict (on in CI) missing entries fail
+// the gate — otherwise a deleted or renamed benchmark silently drops out
+// of regression coverage while the gate keeps reporting success. Refresh
+// the baseline (scripts/bench.sh --update-baseline) in the same change
+// that removes or renames a benchmark.
 package main
 
 import (
@@ -68,6 +72,7 @@ func main() {
 		newPath      = flag.String("new", "", "freshly recorded bench JSON")
 		maxRegress   = flag.Float64("max-regress", 25, "max allowed ns/op regression, percent")
 		minNs        = flag.Float64("min-ns", 100, "ignore regressions smaller than this many ns/op")
+		strict       = flag.Bool("strict", false, "fail when a baseline benchmark is missing from the new run")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -93,10 +98,12 @@ func main() {
 
 	failed := 0
 	compared := 0
+	missing := 0
 	for _, k := range keys {
 		b, c := base[k], cur[k]
 		if _, ok := cur[k]; !ok {
 			fmt.Printf("MISSING  %-50s baseline %.1f ns/op, not in new run\n", k, *b.NsOp)
+			missing++
 			continue
 		}
 		compared++
@@ -123,6 +130,10 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: %d of %d benchmarks regressed more than %.0f%%\n", failed, compared, *maxRegress)
+		os.Exit(1)
+	}
+	if *strict && missing > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d baseline benchmark(s) missing from the new run (strict mode) — refresh the baseline with scripts/bench.sh --update-baseline\n", missing)
 		os.Exit(1)
 	}
 	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of baseline\n", compared, *maxRegress)

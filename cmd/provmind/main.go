@@ -8,6 +8,7 @@
 // Usage:
 //
 //	provmind [-addr :8411] [-workers N] [-cache 1024]
+//	         [-result-cache-size 128] [-result-cache-bytes 33554432]
 //	         [-batch 256] [-batch-wait 2ms] [-shards 8]
 //	         [-data-dir DIR] [-wal-sync always|interval|none]
 //	         [-wal-sync-interval 100ms]
@@ -46,15 +47,17 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8411", "listen address")
-		workers      = flag.Int("workers", 0, "evaluation worker count (0 = GOMAXPROCS)")
-		cacheSize    = flag.Int("cache", 1024, "minimized-query LRU cache entries")
-		batch        = flag.Int("batch", 256, "ingest batch size (facts)")
-		batchWait    = flag.Duration("batch-wait", 2*time.Millisecond, "max ingest batching delay")
-		shards       = flag.Int("shards", 8, "registry/WAL stripe count")
-		dataDir      = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
-		walSync      = flag.String("wal-sync", "always", "WAL durability: always, interval or none")
-		syncInterval = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period for -wal-sync interval")
+		addr          = flag.String("addr", ":8411", "listen address")
+		workers       = flag.Int("workers", 0, "evaluation worker count (0 = GOMAXPROCS)")
+		cacheSize     = flag.Int("cache", 1024, "minimized-query LRU cache entries")
+		resCacheSize  = flag.Int("result-cache-size", 128, "result-cache entries per instance (0 disables result caching)")
+		resCacheBytes = flag.Int("result-cache-bytes", 32<<20, "approximate result-cache byte bound per instance (0 = entries-only bound)")
+		batch         = flag.Int("batch", 256, "ingest batch size (facts)")
+		batchWait     = flag.Duration("batch-wait", 2*time.Millisecond, "max ingest batching delay")
+		shards        = flag.Int("shards", 8, "registry/WAL stripe count")
+		dataDir       = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
+		walSync       = flag.String("wal-sync", "always", "WAL durability: always, interval or none")
+		syncInterval  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period for -wal-sync interval")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -85,14 +88,25 @@ func main() {
 			len(logStore.Recovered()), *dataDir, time.Since(start).Round(time.Millisecond), mode)
 	}
 
+	// The engine treats 0 as "use the default", so an explicit 0 on the
+	// command line (= disable / unbound) maps to the negative sentinel.
+	resSize, resBytes := *resCacheSize, int64(*resCacheBytes)
+	if resSize == 0 {
+		resSize = -1
+	}
+	if resBytes == 0 {
+		resBytes = -1
+	}
 	eng := engine.New(engine.Config{
-		Workers:         *workers,
-		CacheSize:       *cacheSize,
-		IngestBatchSize: *batch,
-		IngestMaxWait:   *batchWait,
-		Shards:          *shards,
-		Persist:         logStore,
-		Metrics:         reg,
+		Workers:          *workers,
+		CacheSize:        *cacheSize,
+		ResultCacheSize:  resSize,
+		ResultCacheBytes: resBytes,
+		IngestBatchSize:  *batch,
+		IngestMaxWait:    *batchWait,
+		Shards:           *shards,
+		Persist:          logStore,
+		Metrics:          reg,
 	})
 	defer eng.Close()
 

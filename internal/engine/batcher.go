@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -32,7 +33,21 @@ type ingestBatcher struct {
 	stop      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// addMu/adders/stopped fence add against close: an add either observes
+	// stopped and fails before sending, or registers in adders so close
+	// waits for its send to land before stopping the loop. The loop's final
+	// drain therefore observes every queued request, and every caller gets
+	// exactly one response — the previous non-blocking resp check could
+	// race a request into the channel buffer after the final drain and
+	// silently strand it.
+	addMu   sync.Mutex
+	adders  sync.WaitGroup
+	stopped bool
 }
+
+// errInstanceClosed rejects adds that arrive at (or after) close.
+var errInstanceClosed = errors.New("engine: instance closed")
 
 type ingestReq struct {
 	facts []Fact
@@ -61,36 +76,36 @@ func newIngestBatcher(eng *Engine, inst *instance, batchSize int, maxWait time.D
 
 // add enqueues a group of facts and blocks until the batch containing them
 // has been applied. All facts of one call are applied atomically with
-// respect to queries (they land inside one write-lock hold).
+// respect to queries (they land inside one write-lock hold). Exactly one
+// outcome is delivered per call: errInstanceClosed means the facts were
+// never enqueued; any other return came from the flush that owned the
+// request — so an error is never lost and never delivered twice, even when
+// close runs concurrently.
 func (b *ingestBatcher) add(facts []Fact) error {
+	b.addMu.Lock()
+	if b.stopped {
+		b.addMu.Unlock()
+		return errInstanceClosed
+	}
+	b.adders.Add(1)
+	b.addMu.Unlock()
 	req := &ingestReq{facts: facts, resp: make(chan error, 1)}
-	select {
-	case b.in <- req:
-	case <-b.stop:
-		return fmt.Errorf("engine: instance closed")
-	}
-	// b.in is buffered, so the send can also succeed after the loop's
-	// final drain has finished — waiting on resp alone would then hang
-	// forever. done closing means no goroutine will read b.in again; one
-	// last non-blocking resp check covers the race where the drain did
-	// handle this request before exiting.
-	select {
-	case err := <-req.resp:
-		return err
-	case <-b.done:
-		select {
-		case err := <-req.resp:
-			return err
-		default:
-			return fmt.Errorf("engine: instance closed")
-		}
-	}
+	b.in <- req // the loop drains b.in until close's adders.Wait returns
+	b.adders.Done()
+	return <-req.resp
 }
 
-// close drains outstanding requests and stops the loop. Safe for concurrent
-// callers (Engine.Close racing DropInstance).
+// close fences out new adds, waits for in-flight sends to land in the
+// channel, then stops the loop; its final drain serves every queued
+// request. Safe for concurrent callers (Engine.Close racing DropInstance).
 func (b *ingestBatcher) close() {
-	b.closeOnce.Do(func() { close(b.stop) })
+	b.closeOnce.Do(func() {
+		b.addMu.Lock()
+		b.stopped = true
+		b.addMu.Unlock()
+		b.adders.Wait()
+		close(b.stop)
+	})
 	<-b.done
 }
 
@@ -158,6 +173,14 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 		for _, req := range valid {
 			facts = append(facts, req.facts...)
 		}
+		// The batch bumps the instance generation by one; the stamp is
+		// computed here and written into the WAL record, so replay restores
+		// the exact generation every acknowledged batch produced (and with
+		// it, result-cache correctness across crashes). Reading version
+		// outside the lock is safe: this loop is the instance's only writer.
+		b.inst.mu.RLock()
+		gen := b.inst.version + 1
+		b.inst.mu.RUnlock()
 		applied := false
 		apply := func(seq uint64) {
 			applied = true
@@ -166,12 +189,17 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 				// Validation guarantees application cannot fail.
 				_ = persist.ApplyFact(b.inst.db, f)
 			}
-			b.inst.version++
+			b.inst.version = gen
 			b.inst.lastSeq = seq
+			// Every cached result is now stale; sweep eagerly so dead
+			// entries don't stay pinned until LRU pressure. Safe under the
+			// write lock: evalCached puts only while holding the read lock
+			// over the same generation it stamped.
+			b.inst.results.invalidateAll()
 			b.inst.mu.Unlock()
 		}
 		if log := b.eng.log; log != nil {
-			rec := persist.Record{Op: persist.OpIngest, ID: b.inst.id, Facts: facts}
+			rec := persist.Record{Op: persist.OpIngest, ID: b.inst.id, Facts: facts, Gen: gen}
 			if _, err := log.Commit(rec, apply); err != nil {
 				// Mirror the create/drop wording: an append failure means
 				// nothing was applied; a post-apply fsync failure means the

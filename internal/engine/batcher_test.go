@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherAddAfterCloseFails is the deterministic sequencing half of the
+// close/add contract: once close returned, add must fail fast with the
+// closed error, and a pre-close add's facts must be fully applied.
+func TestBatcherAddAfterCloseFails(t *testing.T) {
+	e := New(Config{Workers: 2, IngestBatchSize: 4, IngestMaxWait: time.Millisecond})
+	t.Cleanup(e.Close)
+	id := mustCreate(t, e, "")
+	in, err := e.lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.batcher.add([]Fact{{Rel: "R", Tag: "pre", Values: []string{"v"}}}); err != nil {
+		t.Fatalf("pre-close add: %v", err)
+	}
+	in.batcher.close()
+	in.batcher.close() // idempotent
+	if err := in.batcher.add([]Fact{{Rel: "R", Tag: "post", Values: []string{"v"}}}); !errors.Is(err, errInstanceClosed) {
+		t.Fatalf("post-close add: %v, want errInstanceClosed", err)
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	rel := in.db.Lookup("R")
+	if rel == nil || rel.Len() != 1 || rel.Rows()[0].Tag != "pre" {
+		t.Fatalf("pre-close facts lost or post-close facts applied: %v", in.db)
+	}
+}
+
+// TestBatcherCloseAddRace is the regression test for the close/drain race:
+// the old add path did a non-blocking resp check after observing done, so a
+// request could land in the channel buffer after the loop's final drain and
+// be silently stranded — or, when the drain did handle it, the caller could
+// observe the closed error while its facts were applied. The contract under
+// concurrent close is: every add returns exactly once, and it returns nil
+// if and only if its facts are visible in the instance.
+func TestBatcherCloseAddRace(t *testing.T) {
+	const rounds = 60
+	for round := 0; round < rounds; round++ {
+		e := New(Config{Workers: 2, IngestBatchSize: 2, IngestMaxWait: 50 * time.Microsecond})
+		id := mustCreate(t, e, "")
+		in, err := e.lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const adders = 8
+		results := make([]error, adders)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < adders; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				results[i] = in.batcher.add([]Fact{{
+					Rel: "R", Tag: fmt.Sprintf("t%d", i), Values: []string{fmt.Sprintf("v%d", i)},
+				}})
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			in.batcher.close()
+		}()
+		close(start)
+		wg.Wait() // a stranded request would hang here and trip the test timeout
+
+		applied := map[string]bool{}
+		in.mu.RLock()
+		if rel := in.db.Lookup("R"); rel != nil {
+			for _, row := range rel.Rows() {
+				applied[row.Tag] = true
+			}
+		}
+		in.mu.RUnlock()
+		for i, err := range results {
+			tag := fmt.Sprintf("t%d", i)
+			switch {
+			case err == nil && !applied[tag]:
+				t.Fatalf("round %d: add %s acknowledged but facts absent", round, tag)
+			case err != nil && applied[tag]:
+				t.Fatalf("round %d: add %s failed (%v) but facts applied", round, tag, err)
+			case err != nil && !errors.Is(err, errInstanceClosed):
+				t.Fatalf("round %d: add %s: unexpected error %v", round, tag, err)
+			}
+		}
+		e.Close()
+	}
+}

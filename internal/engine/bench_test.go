@@ -11,7 +11,11 @@ import (
 
 func benchEngine(b *testing.B, tuples int) (*Engine, string) {
 	b.Helper()
-	e := New(Config{Workers: 4, CacheSize: 64})
+	// Result caching off: these benchmarks measure the evaluation paths
+	// (cold MinProv, min-cache-hit eval, parallel eval, ingest); with the
+	// default cache every repeated query degenerates into a cache probe.
+	// BenchmarkCoreResultCache below measures the cache itself.
+	e := New(Config{Workers: 4, CacheSize: 64, ResultCacheSize: -1})
 	b.Cleanup(e.Close)
 	info, err := e.CreateInstance("")
 	if err != nil {
@@ -66,6 +70,51 @@ func BenchmarkCoreCached(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreResultCache is the acceptance pair for the result cache:
+// repeated /core at a fixed generation served from the generation-stamped
+// result cache ("hit") against the same request with result caching
+// disabled ("cold" — minimization still cached, so the delta is purely the
+// skipped evaluation). The acceptance bar is hit ≥ 10x faster than cold.
+func BenchmarkCoreResultCache(b *testing.B) {
+	for _, cfg := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"hit", 0},   // default: result cache on
+		{"cold", -1}, // result cache disabled
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e := New(Config{Workers: 4, CacheSize: 64, ResultCacheSize: cfg.cacheSize})
+			b.Cleanup(e.Close)
+			info, err := e.CreateInstance("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			facts := make([]Fact, 0, 512)
+			for i := 0; i < 512; i++ {
+				facts = append(facts, Fact{
+					Rel: "R", Tag: fmt.Sprintf("r%d", i),
+					Values: []string{fmt.Sprintf("v%d", i%24), fmt.Sprintf("v%d", (i+1)%24)},
+				})
+			}
+			if err := e.Ingest(info.ID, facts); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			u := query.MustParseUnion(benchQuery)
+			if _, err := e.Core(ctx, info.ID, u); err != nil {
+				b.Fatal(err) // warm both caches
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Core(ctx, info.ID, u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkQueryParallel measures concurrent read throughput on one
 // instance through the worker pool.
 func BenchmarkQueryParallel(b *testing.B) {
@@ -75,7 +124,7 @@ func BenchmarkQueryParallel(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, _, err := e.Query(ctx, id, u); err != nil {
+			if _, err := e.Query(ctx, id, u); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -30,6 +30,20 @@ func CanonicalKey(u *query.UCQ) string {
 	return strings.Join(uniq, "\n")
 }
 
+// resultKey is the result-cache key: adjuncts sorted but NOT deduplicated.
+// Evaluation is bag-style — every adjunct contributes its assignments'
+// monomials, so "q. q" carries doubled coefficients versus "q" and must
+// not share a materialization. CanonicalKey's dedup is safe only under the
+// set-equivalence the minimization cache works in.
+func resultKey(u *query.UCQ) string {
+	lines := make([]string, 0, len(u.Adjuncts))
+	for _, q := range u.Adjuncts {
+		lines = append(lines, q.SortedString())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
 // minCache is a thread-safe LRU map from canonical query keys to their
 // p-minimal forms. MinProv is worst-case exponential (Theorem 4.10), so a
 // hit saves the dominant cost of a core-provenance request; p-minimal forms

@@ -132,6 +132,112 @@ func TestSnapshotCompactThenRecover(t *testing.T) {
 	}
 }
 
+// TestRecoveryGenerationExact: with -wal-sync always and concurrent
+// writers, the generation counter — the stamp result-cache correctness
+// hangs on — must be restored exactly from snapshot + WAL after a crash,
+// and queries at the recovered generation must re-materialize (never serve
+// pre-crash cache state) with byte-identical results.
+func TestRecoveryGenerationExact(t *testing.T) {
+	dir := t.TempDir()
+	e := durableEngine(t, dir, 2)
+	id := mustCreate(t, e, paperInstance)
+	const writers, per = 6, 8
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := fmt.Sprintf("g%d_%d", g, i)
+				if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "t" + v, Values: []string{v, v}}}); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	pre, _ := e.Instance(id)
+	if pre.Version == 0 {
+		t.Fatal("no ingest batch bumped the generation")
+	}
+	// Warm the result cache, then crash (abandon without Close).
+	preCore, preVer := coreString(t, e, id, paperQuery)
+	if preVer != pre.Version {
+		t.Fatalf("core generation %d != instance generation %d", preVer, pre.Version)
+	}
+
+	e2 := durableEngine(t, dir, 2)
+	defer e2.Close()
+	got, _ := e2.Instance(id)
+	if got.Version != pre.Version || got.Tuples != pre.Tuples {
+		t.Fatalf("recovered (gen=%d tuples=%d), want (gen=%d tuples=%d)",
+			got.Version, got.Tuples, pre.Version, pre.Tuples)
+	}
+	gotCore, gotVer := coreString(t, e2, id, paperQuery)
+	if gotCore != preCore || gotVer != preVer {
+		t.Errorf("core after recovery: %q (gen %d), want %q (gen %d)", gotCore, gotVer, preCore, preVer)
+	}
+	if hits := e2.Metrics().Counter("engine_result_cache_hits_total").Value(); hits != 0 {
+		t.Errorf("recovered engine served %d result-cache hits before any warm-up", hits)
+	}
+}
+
+// TestRecoveryGenerationInterval: under -wal-sync interval the fsync is a
+// background tick; a crash loses exactly the suffix written after the last
+// tick. Concurrent ingest runs before a deterministic tick (Log.Sync), a
+// small unsynced suffix lands after it, and recovery must restore exactly
+// the synced prefix — generation included.
+func TestRecoveryGenerationInterval(t *testing.T) {
+	dir := t.TempDir()
+	l, err := persist.Open(persist.Options{
+		Dir: dir, Shards: 2,
+		Sync:         persist.SyncInterval,
+		SyncInterval: time.Hour, // the only "tick" is the explicit Sync below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: 2, IngestBatchSize: 8, IngestMaxWait: time.Millisecond, Persist: l})
+	id := mustCreate(t, e, paperInstance)
+	const writers, per = 4, 6
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := fmt.Sprintf("g%d_%d", g, i)
+				if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "t" + v, Values: []string{v, v}}}); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	synced, _ := e.Instance(id)
+	if err := l.Sync(); err != nil { // the interval tick
+		t.Fatal(err)
+	}
+	// Acknowledged but unsynced suffix: small enough to stay in the WAL's
+	// write buffer, so the "crash" below genuinely loses it.
+	for i := 0; i < 3; i++ {
+		v := fmt.Sprintf("late%d", i)
+		if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "t" + v, Values: []string{v, v}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e2 := durableEngine(t, dir, 2)
+	defer e2.Close()
+	got, _ := e2.Instance(id)
+	if got.Version != synced.Version || got.Tuples != synced.Tuples {
+		t.Fatalf("recovered (gen=%d tuples=%d), want synced prefix (gen=%d tuples=%d)",
+			got.Version, got.Tuples, synced.Version, synced.Tuples)
+	}
+}
+
 // TestEphemeralSnapshotRefused pins the ErrNoPersistence contract.
 func TestEphemeralSnapshotRefused(t *testing.T) {
 	e := newTestEngine(t)

@@ -49,6 +49,13 @@ type Config struct {
 	// CacheSize is the LRU capacity of the minimized-query cache
 	// (default 1024 entries).
 	CacheSize int
+	// ResultCacheSize caps each instance's result cache in entries
+	// (default 128; negative disables result caching).
+	ResultCacheSize int
+	// ResultCacheBytes bounds each instance's cached results in
+	// approximate resident bytes (default 32 MiB; negative removes the
+	// byte bound, leaving only the entry cap).
+	ResultCacheBytes int64
 	// IngestBatchSize flushes an ingest batch when this many facts are
 	// pending (default 256).
 	IngestBatchSize int
@@ -80,13 +87,19 @@ var ErrNoPersistence = errors.New("engine: durability disabled (no data director
 // can tell a malformed request (client fault) from a storage failure.
 var ErrInvalidSeed = errors.New("invalid seed facts")
 
+// ErrUnknownInstance is wrapped by every operation that names an instance
+// the registry does not hold — a client addressing error (HTTP 404), never
+// a service fault. Match with errors.Is.
+var ErrUnknownInstance = errors.New("no such instance")
+
 // Engine is a long-lived, concurrency-safe provenance service core.
 type Engine struct {
-	cfg   Config
-	reg   *metrics.Registry
-	pool  *pool
-	cache *minCache
-	log   *persist.Log // nil when running ephemeral
+	cfg      Config
+	reg      *metrics.Registry
+	pool     *pool
+	cache    *minCache
+	resStats *resultCacheStats // shared by every instance's result cache
+	log      *persist.Log      // nil when running ephemeral
 
 	shards []*regShard
 	nextID atomic.Uint64
@@ -128,10 +141,11 @@ type instance struct {
 
 	mu      sync.RWMutex // guards db, version and lastSeq
 	db      *db.Instance
-	version uint64 // bumped on every applied ingest batch
+	version uint64 // generation counter: bumped on every applied ingest batch
 	lastSeq uint64 // last WAL sequence applied (0 when ephemeral)
 
 	batcher *ingestBatcher
+	results *resultCache // generation-stamped evaluated results
 }
 
 // New creates an engine and starts its worker pool. With cfg.Persist set,
@@ -141,6 +155,12 @@ type instance struct {
 func New(cfg Config) *Engine {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 1024
+	}
+	if cfg.ResultCacheSize == 0 {
+		cfg.ResultCacheSize = 128
+	}
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = 32 << 20
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -158,6 +178,7 @@ func New(cfg Config) *Engine {
 		reg:      reg,
 		pool:     newPool(cfg.Workers),
 		cache:    newMinCache(cfg.CacheSize),
+		resStats: newResultCacheStats(reg),
 		log:      cfg.Persist,
 		shards:   make([]*regShard, nShards),
 		inflight: map[string]*minFlight{},
@@ -168,6 +189,7 @@ func New(cfg Config) *Engine {
 	if e.log != nil {
 		for _, rec := range e.log.TakeRecovered() {
 			in := &instance{id: rec.ID, db: rec.DB, version: rec.Version, lastSeq: rec.LastSeq}
+			in.results = e.newResultCache()
 			in.batcher = newIngestBatcher(e, in, cfg.IngestBatchSize, cfg.IngestMaxWait)
 			sh := e.shardOf(rec.ID)
 			sh.instances[rec.ID] = in
@@ -201,6 +223,9 @@ func (e *Engine) Close() {
 	}
 	for _, in := range insts {
 		in.batcher.close()
+		// Symmetric with DropInstance: an embedder reusing the metrics
+		// registry across engines must not inherit stale cache occupancy.
+		in.results.purge()
 	}
 	e.pool.close()
 	if e.log != nil {
@@ -233,6 +258,7 @@ func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 		return InstanceInfo{}, ErrClosed
 	}
 	in := &instance{id: fmt.Sprintf("i%d", e.nextID.Add(1)), db: d}
+	in.results = e.newResultCache()
 	in.batcher = newIngestBatcher(e, in, e.cfg.IngestBatchSize, e.cfg.IngestMaxWait)
 	inserted := false
 	insert := func(uint64) {
@@ -310,6 +336,7 @@ func (e *Engine) DropInstance(id string) (bool, error) {
 			}
 			e.updateShardGauges()
 			in.batcher.close()
+			in.results.purge()
 			return true, fmt.Errorf("drop %s: applied but not confirmed durable: %w", id, err)
 		}
 	} else {
@@ -318,8 +345,15 @@ func (e *Engine) DropInstance(id string) (bool, error) {
 	e.updateShardGauges()
 	if removed {
 		in.batcher.close()
+		in.results.purge()
 	}
 	return removed, nil
+}
+
+// newResultCache builds one instance's result cache over the engine-wide
+// stats family.
+func (e *Engine) newResultCache() *resultCache {
+	return newResultCache(e.cfg.ResultCacheSize, e.cfg.ResultCacheBytes, e.resStats)
 }
 
 // updateShardGauges refreshes total and per-stripe occupancy gauges from
@@ -437,9 +471,33 @@ func (e *Engine) lookup(id string) (*instance, error) {
 	defer sh.mu.RUnlock()
 	in, ok := sh.instances[id]
 	if !ok {
-		return nil, fmt.Errorf("no such instance %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
 	}
 	return in, nil
+}
+
+// evalCached evaluates u over the instance under its read lock, serving
+// from the result cache when an entry exists at the instance's current
+// generation. The generation is read under the same lock hold that runs
+// the evaluation, so a cached result is exactly the result a cold
+// evaluation at that generation produces. Concurrent misses for one key
+// may evaluate redundantly; the last put wins, all of them are correct.
+func (e *Engine) evalCached(in *instance, u *query.UCQ) (res *eval.Result, gen uint64, hit bool, err error) {
+	key := resultKey(u)
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	gen = in.version
+	if res, ok := in.results.get(key, gen); ok {
+		return res, gen, true, nil
+	}
+	start := time.Now()
+	res, err = eval.EvalUCQ(u, in.db)
+	if err != nil {
+		return nil, gen, false, err
+	}
+	e.reg.Histogram("engine_eval_seconds").Observe(time.Since(start))
+	in.results.put(key, gen, res)
+	return res, gen, false, nil
 }
 
 // Ingest applies a group of facts to an instance through its batcher; it
@@ -478,39 +536,35 @@ func (e *Engine) run(ctx context.Context, fn func() (any, error)) (any, error) {
 	})
 }
 
+// QueryOut is the result of a full-provenance query request.
+type QueryOut struct {
+	Result   *eval.Result
+	Version  uint64 // instance generation the result reflects
+	CacheHit bool   // served from the result cache (evaluation skipped)
+}
+
 // Query evaluates a union over an instance with full N[X] provenance
 // annotations. It holds the instance read lock for the duration of the
-// evaluation, so results are a consistent snapshot.
-func (e *Engine) Query(ctx context.Context, id string, u *query.UCQ) (*eval.Result, uint64, error) {
+// evaluation, so results are a consistent snapshot; repeated queries at an
+// unchanged generation are served from the result cache. The returned
+// result may be shared with other callers and must not be mutated.
+func (e *Engine) Query(ctx context.Context, id string, u *query.UCQ) (*QueryOut, error) {
 	in, err := e.lookup(id)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	e.reg.Counter("engine_queries_total").Inc()
 	v, err := e.run(ctx, func() (any, error) {
-		in.mu.RLock()
-		defer in.mu.RUnlock()
-		// Time only the evaluation itself, like Core does: queue wait is
-		// already engine_queue_wait_seconds, so the shared eval histogram
-		// keeps one consistent meaning.
-		start := time.Now()
-		res, err := eval.EvalUCQ(u, in.db)
+		res, gen, hit, err := e.evalCached(in, u)
 		if err != nil {
 			return nil, err
 		}
-		e.reg.Histogram("engine_eval_seconds").Observe(time.Since(start))
-		return &evalOut{res: res, version: in.version}, nil
+		return &QueryOut{Result: res, Version: gen, CacheHit: hit}, nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	out := v.(*evalOut)
-	return out.res, out.version, nil
-}
-
-type evalOut struct {
-	res     *eval.Result
-	version uint64
+	return v.(*QueryOut), nil
 }
 
 // Minimize returns the p-minimal form of u, consulting the LRU cache first.
@@ -560,12 +614,70 @@ func (e *Engine) Minimize(u *query.UCQ) (*query.UCQ, bool) {
 // CacheLen returns the number of cached minimized queries.
 func (e *Engine) CacheLen() int { return e.cache.len() }
 
+// InstanceCacheStats is one instance's result-cache occupancy.
+type InstanceCacheStats struct {
+	ID         string `json:"id"`
+	Generation uint64 `json:"generation"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+}
+
+// ResultCacheStats reports the result-cache state across all instances:
+// totals from the shared counters, per-instance occupancy sorted by id, and
+// the configured per-instance bounds.
+type ResultCacheStats struct {
+	Enabled       bool                 `json:"enabled"`
+	MaxEntries    int                  `json:"max_entries_per_instance"`
+	MaxBytes      int64                `json:"max_bytes_per_instance"`
+	Entries       int64                `json:"entries"`
+	Bytes         int64                `json:"bytes"`
+	Hits          int64                `json:"hits"`
+	Misses        int64                `json:"misses"`
+	Evictions     int64                `json:"evictions"`
+	Invalidations int64                `json:"invalidations"`
+	MinCacheLen   int                  `json:"minimized_query_entries"`
+	Instances     []InstanceCacheStats `json:"instances"`
+}
+
+// ResultCacheStatsNow snapshots the result cache for /admin/cache.
+func (e *Engine) ResultCacheStatsNow() ResultCacheStats {
+	st := ResultCacheStats{
+		Enabled:       e.cfg.ResultCacheSize > 0,
+		MaxEntries:    e.cfg.ResultCacheSize,
+		MaxBytes:      e.cfg.ResultCacheBytes,
+		Entries:       e.resStats.entries.Value(),
+		Bytes:         e.resStats.bytes.Value(),
+		Hits:          e.resStats.hits.Value(),
+		Misses:        e.resStats.misses.Value(),
+		Evictions:     e.resStats.evictions.Value(),
+		Invalidations: e.resStats.invalidations.Value(),
+		MinCacheLen:   e.cache.len(),
+		Instances:     []InstanceCacheStats{},
+	}
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for _, in := range sh.instances {
+			entries, bytes := in.results.usage()
+			in.mu.RLock()
+			gen := in.version
+			in.mu.RUnlock()
+			st.Instances = append(st.Instances, InstanceCacheStats{
+				ID: in.id, Generation: gen, Entries: entries, Bytes: bytes,
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(st.Instances, func(i, j int) bool { return st.Instances[i].ID < st.Instances[j].ID })
+	return st
+}
+
 // CoreOut is the result of a core-provenance request.
 type CoreOut struct {
-	Result    *eval.Result // tuples annotated with core provenance
-	Minimized *query.UCQ   // the p-minimal query that realized it
-	CacheHit  bool         // whether MinProv was skipped
-	Version   uint64       // instance version the result reflects
+	Result         *eval.Result // tuples annotated with core provenance
+	Minimized      *query.UCQ   // the p-minimal query that realized it
+	CacheHit       bool         // whether MinProv was skipped
+	ResultCacheHit bool         // whether the evaluation itself was skipped
+	Version        uint64       // instance generation the result reflects
 }
 
 // Core computes the core provenance of every answer tuple of u on the
@@ -581,15 +693,13 @@ func (e *Engine) Core(ctx context.Context, id string, u *query.UCQ) (*CoreOut, e
 	e.reg.Counter("engine_core_total").Inc()
 	v, err := e.run(ctx, func() (any, error) {
 		min, hit := e.Minimize(u)
-		start := time.Now()
-		in.mu.RLock()
-		defer in.mu.RUnlock()
-		res, err := eval.EvalUCQ(min, in.db)
+		// The result is cached under the minimized form's canonical key, so
+		// a /core of u and a /query of min share one materialization.
+		res, gen, resHit, err := e.evalCached(in, min)
 		if err != nil {
 			return nil, err
 		}
-		e.reg.Histogram("engine_eval_seconds").Observe(time.Since(start))
-		return &CoreOut{Result: res, Minimized: min, CacheHit: hit, Version: in.version}, nil
+		return &CoreOut{Result: res, Minimized: min, CacheHit: hit, ResultCacheHit: resHit, Version: gen}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -623,16 +733,21 @@ func (e *Engine) CoreDirect(ctx context.Context, id string, u *query.UCQ) (*eval
 }
 
 // TupleProvenance returns P(t, u, D) for one tuple (the zero polynomial if
-// the tuple is not an answer).
+// the tuple is not an answer). The full evaluation behind it goes through
+// the result cache, so repeated /prob and /trust calls at an unchanged
+// generation — even for different tuples — share one materialization.
 func (e *Engine) TupleProvenance(ctx context.Context, id string, u *query.UCQ, t db.Tuple) (semiring.Polynomial, error) {
 	in, err := e.lookup(id)
 	if err != nil {
 		return semiring.Zero, err
 	}
 	v, err := e.run(ctx, func() (any, error) {
-		in.mu.RLock()
-		defer in.mu.RUnlock()
-		return eval.Provenance(u, in.db, t)
+		res, _, _, err := e.evalCached(in, u)
+		if err != nil {
+			return nil, err
+		}
+		p, _ := res.Lookup(t)
+		return p, nil
 	})
 	if err != nil {
 		return semiring.Zero, err
@@ -743,12 +858,11 @@ func (e *Engine) Deletion(ctx context.Context, id string, u *query.UCQ, deletedT
 		deleted[tg] = true
 	}
 	v, err := e.run(ctx, func() (any, error) {
-		in.mu.RLock()
-		defer in.mu.RUnlock()
-		res, err := eval.EvalUCQ(u, in.db)
+		res, _, _, err := e.evalCached(in, u)
 		if err != nil {
 			return nil, err
 		}
+		// Propagate only reads the (shared, immutable) cached result.
 		surv, lost := deletion.Propagate(res, deleted)
 		return &DeletionOut{Survivors: surv, Lost: lost}, nil
 	})

@@ -34,10 +34,11 @@ func TestQueryEvaluates(t *testing.T) {
 	e := newTestEngine(t)
 	id := mustCreate(t, e, paperInstance)
 	u := query.MustParseUnion(paperQuery)
-	res, _, err := e.Query(context.Background(), id, u)
+	out, err := e.Query(context.Background(), id, u)
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := out.Result
 	if res.Len() != 2 { // (a) and (b)
 		t.Fatalf("got %d tuples, want 2:\n%s", res.Len(), res)
 	}
@@ -71,12 +72,12 @@ func TestIngestVisibleToQueries(t *testing.T) {
 	if info.Version == 0 {
 		t.Fatalf("version not bumped by ingest: %+v", info)
 	}
-	res, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery))
+	out, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Len() != 2 {
-		t.Fatalf("got %d tuples after ingest, want 2", res.Len())
+	if out.Result.Len() != 2 {
+		t.Fatalf("got %d tuples after ingest, want 2", out.Result.Len())
 	}
 }
 
@@ -263,7 +264,7 @@ func TestDropInstance(t *testing.T) {
 	if ok, _ := e.DropInstance(id); ok {
 		t.Fatal("second drop succeeded")
 	}
-	if _, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err == nil {
+	if _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err == nil {
 		t.Fatal("query on dropped instance succeeded")
 	}
 	if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "r", Values: []string{"a", "a"}}}); err == nil {
@@ -276,7 +277,7 @@ func TestEngineClose(t *testing.T) {
 	id := mustCreate(t, e, paperInstance)
 	e.Close()
 	e.Close() // idempotent
-	if _, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err == nil {
+	if _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err == nil {
 		t.Fatal("query after close succeeded")
 	}
 	if _, err := e.CreateInstance(""); err == nil {
@@ -289,11 +290,11 @@ func TestBadQueryDoesNotKillEngine(t *testing.T) {
 	id := mustCreate(t, e, paperInstance)
 	// A query over a relation with the wrong arity errors cleanly.
 	u := query.MustParseUnion("ans(x) :- R(x,y,z)")
-	if _, _, err := e.Query(context.Background(), id, u); err == nil {
+	if _, err := e.Query(context.Background(), id, u); err == nil {
 		t.Fatal("want arity error")
 	}
 	// Engine still serves afterwards.
-	if _, _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err != nil {
+	if _, err := e.Query(context.Background(), id, query.MustParseUnion(paperQuery)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"provmin/internal/eval"
+	"provmin/internal/metrics"
+)
+
+// This file is the read-path result cache. The minimization cache
+// (cache.go) already amortizes Algorithm 1 — the worst-case-exponential
+// rewrite — but every /query and /core still re-evaluated the (p-minimal)
+// query against the relation store on each request, even when the instance
+// had not changed. The result cache closes that gap: each instance keeps an
+// LRU of fully evaluated results, stamped with the instance's generation
+// counter (the version bumped inside the ingest batcher's critical section
+// and restored exactly by WAL replay). A lookup at an unchanged generation
+// returns the materialized result without touching the relation store; any
+// ingest bumps the generation, which invalidates every older stamp.
+
+// resultCacheStats are the engine-wide counters and gauges shared by every
+// instance's cache, so the registry shows one engine_result_cache_* family
+// regardless of instance count.
+type resultCacheStats struct {
+	hits          *metrics.Counter
+	misses        *metrics.Counter
+	evictions     *metrics.Counter
+	invalidations *metrics.Counter
+	entries       *metrics.Gauge
+	bytes         *metrics.Gauge
+}
+
+func newResultCacheStats(reg *metrics.Registry) *resultCacheStats {
+	return &resultCacheStats{
+		hits:          reg.Counter("engine_result_cache_hits_total"),
+		misses:        reg.Counter("engine_result_cache_misses_total"),
+		evictions:     reg.Counter("engine_result_cache_evictions_total"),
+		invalidations: reg.Counter("engine_result_cache_invalidations_total"),
+		entries:       reg.Gauge("engine_result_cache_entries"),
+		bytes:         reg.Gauge("engine_result_cache_bytes"),
+	}
+}
+
+// resultCache is one instance's LRU of evaluated results. Entries are keyed
+// by canonical query form and stamped with the generation they were
+// computed at; a stamp mismatch is a miss that also drops the stale entry,
+// so at most one materialization per query is ever retained. Cached results
+// are shared with callers and must never be mutated.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int   // <= 0 disables the cache entirely
+	maxBytes   int64 // <= 0 means no byte bound
+	stats      *resultCacheStats
+
+	order  *list.List               // front = most recent; values are *resultEntry
+	items  map[string]*list.Element // canonical query -> element
+	bytes  int64
+	closed bool // set by purge: the owning instance was dropped
+}
+
+type resultEntry struct {
+	key   string
+	gen   uint64
+	res   *eval.Result
+	bytes int64
+}
+
+func newResultCache(maxEntries int, maxBytes int64, stats *resultCacheStats) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		stats:      stats,
+		order:      list.New(),
+		items:      map[string]*list.Element{},
+	}
+}
+
+// get returns the cached result for key if it was materialized at exactly
+// generation gen. An entry at any other generation is stale — the instance
+// changed since — and is removed on sight.
+func (c *resultCache) get(key string, gen uint64) (*eval.Result, bool) {
+	if c.maxEntries <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.misses.Inc()
+		return nil, false
+	}
+	en := el.Value.(*resultEntry)
+	if en.gen != gen {
+		c.removeLocked(el)
+		c.stats.invalidations.Inc()
+		c.stats.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.hits.Inc()
+	return en.res, true
+}
+
+// put stores a freshly evaluated result under its generation stamp,
+// evicting least-recently-used entries until both the entry and byte
+// bounds hold again. Oversized single results (cost above the byte bound)
+// are not cached at all — caching them would immediately evict everything
+// else for a result unlikely to be re-served before the next ingest.
+func (c *resultCache) put(key string, gen uint64, res *eval.Result) {
+	if c.maxEntries <= 0 {
+		return
+	}
+	cost := resultCost(res)
+	if c.maxBytes > 0 && cost > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		// A query that held the instance read lock across a concurrent
+		// DropInstance finishes after the purge; inserting now would pin
+		// the entry (and its share of the engine-wide gauges) forever.
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// Concurrent misses for one key race to put; keep the newest stamp.
+		c.removeLocked(el)
+	}
+	en := &resultEntry{key: key, gen: gen, res: res, bytes: cost}
+	c.items[key] = c.order.PushFront(en)
+	c.bytes += cost
+	c.stats.entries.Inc()
+	c.stats.bytes.Add(cost)
+	// This can never evict the entry just inserted: maxEntries >= 1 here,
+	// and a single entry over the byte bound was rejected above.
+	for c.order.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		c.removeLocked(c.order.Back())
+		c.stats.evictions.Inc()
+	}
+}
+
+// removeLocked unlinks one entry and settles the byte accounting.
+func (c *resultCache) removeLocked(el *list.Element) {
+	en := el.Value.(*resultEntry)
+	c.order.Remove(el)
+	delete(c.items, en.key)
+	c.bytes -= en.bytes
+	c.stats.entries.Dec()
+	c.stats.bytes.Add(-en.bytes)
+}
+
+// purge drops every entry and refuses future puts — called when the owning
+// instance is dropped, so the engine-wide occupancy gauges stay truthful.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for c.order.Len() > 0 {
+		c.removeLocked(c.order.Back())
+	}
+}
+
+// invalidateAll drops every entry and counts each as an invalidation —
+// called by the ingest batcher when it bumps the generation, while the
+// instance write lock is held. Every existing entry carries an older stamp
+// and can never hit again; without the eager sweep those dead results
+// would stay resident (and inflate the occupancy gauges) until LRU
+// pressure or a same-key re-request happened to evict them. The stale
+// check in get remains as a correctness backstop.
+func (c *resultCache) invalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.order.Len() > 0 {
+		c.removeLocked(c.order.Back())
+		c.stats.invalidations.Inc()
+	}
+}
+
+// usage returns the current entry and byte occupancy.
+func (c *resultCache) usage() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.bytes
+}
+
+// resultCost approximates a result's resident size in bytes: string
+// payloads plus slice/header overhead per tuple and per monomial term. The
+// estimate only has to be fair across results — the byte bound is a memory
+// pressure valve, not an allocator.
+func resultCost(res *eval.Result) int64 {
+	n := int64(96) // Result headers, map
+	for _, ot := range res.Tuples() {
+		n += 64 // OutTuple, map entry, key string
+		for _, v := range ot.Tuple {
+			n += int64(len(v)) + 16
+		}
+		n += int64(ot.Prov.Size()) * 24
+	}
+	return n
+}

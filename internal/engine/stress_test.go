@@ -66,7 +66,7 @@ func TestStressParallelQueryAndIngest(t *testing.T) {
 				u := queries[(r+i)%len(queries)]
 				switch i % 3 {
 				case 0:
-					if _, _, err := e.Query(ctx, id, u); err != nil {
+					if _, err := e.Query(ctx, id, u); err != nil {
 						errc <- fmt.Errorf("query: %w", err)
 					}
 				case 1:
@@ -101,12 +101,12 @@ func TestStressParallelQueryAndIngest(t *testing.T) {
 
 	// Every query result is now a consistent snapshot containing all rows:
 	// full scan must see exactly want tuples.
-	res, _, err := e.Query(ctx, id, query.MustParseUnion("ans(x,y) :- R(x,y)"))
+	out, err := e.Query(ctx, id, query.MustParseUnion("ans(x,y) :- R(x,y)"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Len() != want {
-		t.Fatalf("scan sees %d tuples, want %d", res.Len(), want)
+	if out.Result.Len() != want {
+		t.Fatalf("scan sees %d tuples, want %d", out.Result.Len(), want)
 	}
 }
 

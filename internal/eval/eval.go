@@ -25,10 +25,34 @@ const (
 	OrderAsWritten
 )
 
+// JoinStrategy selects how conjuncts are combined.
+type JoinStrategy int
+
+const (
+	// JoinHash joins conjuncts set-at-a-time with hash joins on their
+	// shared variables, ordered by a selectivity planner (hashjoin.go).
+	// The default. Conjuncts with fewer than hashJoinMinAtoms atoms fall
+	// back to the enumerator: below that the hash build cost exceeds the
+	// join it saves.
+	JoinHash JoinStrategy = iota
+	// JoinNestedLoop enumerates assignments tuple-at-a-time with the
+	// backtracking enumerator — the ablation baseline, and the engine
+	// behind ForEachAssignment.
+	JoinNestedLoop
+)
+
+// hashJoinMinAtoms is the conjunct size from which JoinHash actually hash
+// joins; smaller conjuncts do at most one join, where the tuple-at-a-time
+// enumerator is measurably cheaper (no per-relation hash build). A
+// variable so the differential tests can force the hash path on small
+// queries too.
+var hashJoinMinAtoms = 3
+
 // Options configures evaluation.
 type Options struct {
-	Order   AtomOrder
-	NoIndex bool // disable the per-column index (ablation)
+	Join    JoinStrategy
+	Order   AtomOrder // nested-loop only: atom-order heuristic
+	NoIndex bool      // nested-loop only: disable the per-column index
 }
 
 // Assignment is a satisfying assignment of a query's relational atoms to
@@ -47,17 +71,26 @@ func EvalCQ(q *query.CQ, d *db.Instance) (*Result, error) {
 // EvalCQOpts evaluates with explicit options.
 func EvalCQOpts(q *query.CQ, d *db.Instance, opts Options) (*Result, error) {
 	res := newResult()
-	err := ForEachAssignment(q, d, opts, func(a Assignment) error {
+	if err := evalCQInto(res, q, d, opts); err != nil {
+		return nil, err
+	}
+	res.finish()
+	return res, nil
+}
+
+// evalCQInto accumulates one adjunct's assignments into res with the
+// configured join strategy. Both strategies contribute the same
+// (tuple, monomial) multiset, so results are identical either way.
+func evalCQInto(res *Result, q *query.CQ, d *db.Instance, opts Options) error {
+	if opts.Join == JoinHash && len(q.Atoms) >= hashJoinMinAtoms {
+		return hashEvalCQ(res, q, d)
+	}
+	return ForEachAssignment(q, d, opts, func(a Assignment) error {
 		t := headTuple(q, a.Binding)
 		m := assignmentMonomial(q, d, a)
 		res.add(t, semiring.FromMonomial(m, 1))
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.finish()
-	return res, nil
 }
 
 // EvalUCQ evaluates a union adjunct by adjunct, summing provenance
@@ -70,13 +103,7 @@ func EvalUCQ(u *query.UCQ, d *db.Instance) (*Result, error) {
 func EvalUCQOpts(u *query.UCQ, d *db.Instance, opts Options) (*Result, error) {
 	res := newResult()
 	for _, q := range u.Adjuncts {
-		err := ForEachAssignment(q, d, opts, func(a Assignment) error {
-			t := headTuple(q, a.Binding)
-			m := assignmentMonomial(q, d, a)
-			res.add(t, semiring.FromMonomial(m, 1))
-			return nil
-		})
-		if err != nil {
+		if err := evalCQInto(res, q, d, opts); err != nil {
 			return nil, err
 		}
 	}
@@ -112,10 +139,11 @@ func EvalInSemiring[T any](u *query.UCQ, d *db.Instance, k semiring.Semiring[T],
 	return out, tuples, nil
 }
 
-// ForEachAssignment enumerates every satisfying assignment of q over d and
-// invokes fn for each. Enumeration order is deterministic. fn may return an
-// error to abort.
-func ForEachAssignment(q *query.CQ, d *db.Instance, opts Options, fn func(Assignment) error) error {
+// validateCQ is the shared entry check of both join strategies: the query
+// must be well-formed and every atom must agree with its relation's arity.
+// One copy keeps the error wording identical across strategies — the
+// server's HTTP status mapping matches on it.
+func validateCQ(q *query.CQ, d *db.Instance) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
@@ -123,6 +151,16 @@ func ForEachAssignment(q *query.CQ, d *db.Instance, opts Options, fn func(Assign
 		if r := d.Lookup(at.Rel); r != nil && r.Arity != len(at.Args) {
 			return fmt.Errorf("atom %s: relation has arity %d", at, r.Arity)
 		}
+	}
+	return nil
+}
+
+// ForEachAssignment enumerates every satisfying assignment of q over d and
+// invokes fn for each. Enumeration order is deterministic. fn may return an
+// error to abort.
+func ForEachAssignment(q *query.CQ, d *db.Instance, opts Options, fn func(Assignment) error) error {
+	if err := validateCQ(q, d); err != nil {
+		return err
 	}
 	order := atomOrder(q, opts.Order)
 	e := &enumerator{q: q, d: d, opts: opts, order: order, fn: fn,

@@ -235,23 +235,30 @@ func TestEvalArityMismatchFails(t *testing.T) {
 }
 
 func TestEvalOrderInvariance(t *testing.T) {
-	// The provenance result must not depend on the join-order heuristic.
+	// The provenance result must not depend on the join strategy, the
+	// nested-loop join-order heuristic or the per-column index. Join must
+	// be pinned explicitly: without it every variant would silently take
+	// the (default) hash-join path and compare it against itself.
 	d := table4()
 	q := query.MustParse(qNoPminTxt)
-	greedy, err := EvalCQOpts(q, d, Options{Order: OrderGreedy})
+	greedy, err := EvalCQOpts(q, d, Options{Join: JoinNestedLoop, Order: OrderGreedy})
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := EvalCQOpts(q, d, Options{Order: OrderAsWritten})
+	naive, err := EvalCQOpts(q, d, Options{Join: JoinNestedLoop, Order: OrderAsWritten})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noIndex, err := EvalCQOpts(q, d, Options{Order: OrderGreedy, NoIndex: true})
+	noIndex, err := EvalCQOpts(q, d, Options{Join: JoinNestedLoop, Order: OrderGreedy, NoIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !greedy.SameAnnotated(naive) || !greedy.SameAnnotated(noIndex) {
-		t.Errorf("evaluation options changed the result:\n%s\nvs\n%s\nvs\n%s", greedy, naive, noIndex)
+	hash, err := EvalCQOpts(q, d, Options{Join: JoinHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !greedy.SameAnnotated(naive) || !greedy.SameAnnotated(noIndex) || !greedy.SameAnnotated(hash) {
+		t.Errorf("evaluation options changed the result:\n%s\nvs\n%s\nvs\n%s\nvs\n%s", greedy, naive, noIndex, hash)
 	}
 }
 

@@ -44,6 +44,10 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec subtracts one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Add adds n (n may be negative) — for gauges tracking occupancy deltas,
+// like cache entry and byte counts.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -138,7 +138,11 @@ func applyRecord(rec *Record, insts map[string]*RecoveredInstance) error {
 				return fmt.Errorf("replay ingest %s: %w", rec.ID, err)
 			}
 		}
-		in.Version++
+		if rec.Gen > 0 {
+			in.Version = rec.Gen
+		} else {
+			in.Version++ // pre-generation record: derive by counting
+		}
 		in.LastSeq = rec.Seq
 	case OpDrop:
 		if in, ok := insts[rec.ID]; ok && in.LastSeq < rec.Seq {

@@ -62,6 +62,13 @@ type Record struct {
 	ID      string `json:"id"`
 	Initial string `json:"initial,omitempty"`
 	Facts   []Fact `json:"facts,omitempty"`
+	// Gen is the instance generation this ingest record produces — the
+	// engine's monotonic per-instance counter that stamps result-cache
+	// entries. Carrying it explicitly (rather than recounting records at
+	// replay) pins recovered generations to the acknowledged ones even if
+	// a record is ever skipped. Zero on pre-generation records and on
+	// create/drop; replay then falls back to incrementing.
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // SyncMode controls when WAL appends reach stable storage.

@@ -59,6 +59,7 @@ func New(eng *engine.Engine) *Server {
 	s.route("POST /deletion", "deletion", s.handleDeletion)
 	s.route("POST /admin/snapshot", "snapshot", s.handleSnapshot)
 	s.route("POST /admin/compact", "compact", s.handleCompact)
+	s.route("GET /admin/cache", "cache_stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -113,7 +114,15 @@ func writeError(w http.ResponseWriter, err error) {
 		// Engine shut down while the HTTP server drains: availability,
 		// not client fault — tell well-behaved clients to retry.
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrUnknownInstance):
+		// Every endpoint that names an instance — /query, /core, /prob,
+		// /trust, /deletion, ingest — must answer 404 for an unknown id,
+		// never 500: the sentinel makes that hold no matter how deeply the
+		// engine wraps the lookup failure.
+		status = http.StatusNotFound
 	case strings.Contains(err.Error(), "no such instance"):
+		// Message-based fallback for errors that crossed a boundary that
+		// dropped the wrap chain.
 		status = http.StatusNotFound
 	case strings.Contains(err.Error(), "arity"):
 		// Arity mismatches surface from eval/db when a query or fact
@@ -293,15 +302,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	res, version, err := s.eng.Query(r.Context(), req.Instance, u)
+	out, err := s.eng.Query(r.Context(), req.Instance, u)
 	if err != nil {
 		return err
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"instance": req.Instance,
-		"version":  version,
-		"class":    query.ClassOfUnion(u).String(),
-		"tuples":   resultOut(res),
+		"instance":         req.Instance,
+		"version":          out.Version,
+		"class":            query.ClassOfUnion(u).String(),
+		"result_cache_hit": out.CacheHit,
+		"tuples":           resultOut(out.Result),
 	})
 	return nil
 }
@@ -354,11 +364,12 @@ func (s *Server) serveCore(w http.ResponseWriter, r *http.Request, req coreReq) 
 		return err
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"instance":  req.Instance,
-		"version":   out.Version,
-		"cache_hit": out.CacheHit,
-		"minimized": out.Minimized.String(),
-		"tuples":    resultOut(out.Result),
+		"instance":         req.Instance,
+		"version":          out.Version,
+		"cache_hit":        out.CacheHit,
+		"result_cache_hit": out.ResultCacheHit,
+		"minimized":        out.Minimized.String(),
+		"tuples":           resultOut(out.Result),
 	})
 	return nil
 }
@@ -505,6 +516,14 @@ func (s *Server) serveSnapshot(w http.ResponseWriter, compact bool) error {
 		"compacted":        stats.Compacted,
 		"duration_seconds": stats.Duration.Seconds(),
 	})
+	return nil
+}
+
+// handleCacheStats serves GET /admin/cache: result-cache totals, the
+// configured per-instance bounds, and per-instance occupancy with the
+// generation each instance is at.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.eng.ResultCacheStatsNow())
 	return nil
 }
 

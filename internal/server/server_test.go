@@ -346,6 +346,164 @@ func TestInstanceLifecycleAndErrors(t *testing.T) {
 	}
 }
 
+// TestUnknownInstance404AllRoutes is the regression table for the error
+// mapping audit: every endpoint that names an instance must answer 404 —
+// never 500 — when the id is unknown, no matter how deeply the engine
+// wraps its lookup failure.
+func TestUnknownInstance404AllRoutes(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const q = "ans(x) :- R(x,y), R(y,x)"
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+	}{
+		{"query", "POST", "/query", map[string]any{"instance": "nope", "query": q}},
+		{"core_post", "POST", "/core", map[string]any{"instance": "nope", "query": q}},
+		{"core_post_direct", "POST", "/core", map[string]any{"instance": "nope", "query": q, "direct": true}},
+		{"core_get", "GET", "/core?instance=nope&q=ans(x)+:-+R(x,y)", nil},
+		{"prob", "POST", "/prob", map[string]any{"instance": "nope", "query": q, "tuple": []string{"a"}}},
+		{"trust", "POST", "/trust", map[string]any{"instance": "nope", "query": q, "tuple": []string{"a"}}},
+		{"deletion", "POST", "/deletion", map[string]any{"instance": "nope", "query": q, "deleted": []string{"r1"}}},
+		{"ingest", "POST", "/instances/nope/tuples", map[string]any{"facts": []map[string]any{{"rel": "R", "tag": "t", "values": []string{"a", "a"}}}}},
+		{"get_instance", "GET", "/instances/nope", nil},
+		{"drop_instance", "DELETE", "/instances/nope", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+			if status != http.StatusNotFound {
+				t.Fatalf("%s %s: status %d, want 404: %s", tc.method, tc.path, status, body)
+			}
+			if !strings.Contains(string(body), "no such instance") {
+				t.Errorf("%s %s: error body %s, want it to name the missing instance", tc.method, tc.path, body)
+			}
+		})
+	}
+}
+
+// TestResultCacheOverHTTP: the /query and /core responses carry the
+// result-cache status, ingest invalidates, and /admin/cache reports the
+// occupancy.
+func TestResultCacheOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := createPaperInstance(t, ts)
+	q := map[string]string{"instance": id, "query": "ans(x) :- R(x,y), R(y,x)"}
+
+	var out struct {
+		Version        uint64          `json:"version"`
+		ResultCacheHit bool            `json:"result_cache_hit"`
+		Tuples         json.RawMessage `json:"tuples"`
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/query", q)
+	if status != http.StatusOK {
+		t.Fatalf("query #1: %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ResultCacheHit {
+		t.Fatalf("first query reported result_cache_hit: %s", body)
+	}
+	coldTuples := append([]byte(nil), out.Tuples...)
+
+	status, body = doJSON(t, "POST", ts.URL+"/query", q)
+	if status != http.StatusOK {
+		t.Fatalf("query #2: %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.ResultCacheHit {
+		t.Fatalf("repeat query missed the result cache: %s", body)
+	}
+	if !bytes.Equal(out.Tuples, coldTuples) {
+		t.Fatalf("cached tuples differ from cold run:\ncold: %s\nhit:  %s", coldTuples, out.Tuples)
+	}
+
+	// Ingest invalidates: next query is a miss at the bumped generation.
+	status, body = doJSON(t, "POST", ts.URL+"/instances/"+id+"/tuples", map[string]any{
+		"facts": []map[string]any{{"rel": "R", "tag": "r4", "values": []string{"b", "b"}}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	prevVer := out.Version
+	status, body = doJSON(t, "POST", ts.URL+"/query", q)
+	if status != http.StatusOK {
+		t.Fatalf("query #3: %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ResultCacheHit || out.Version != prevVer+1 {
+		t.Fatalf("query after ingest: hit=%t version %d -> %d: %s", out.ResultCacheHit, prevVer, out.Version, body)
+	}
+
+	// /core reports both cache layers.
+	var core struct {
+		CacheHit       bool `json:"cache_hit"`
+		ResultCacheHit bool `json:"result_cache_hit"`
+	}
+	for i := 0; i < 2; i++ {
+		status, body = doJSON(t, "POST", ts.URL+"/core", q)
+		if status != http.StatusOK {
+			t.Fatalf("core #%d: %d %s", i+1, status, body)
+		}
+	}
+	if err := json.Unmarshal(body, &core); err != nil {
+		t.Fatal(err)
+	}
+	if !core.CacheHit || !core.ResultCacheHit {
+		t.Fatalf("second core: %s", body)
+	}
+
+	// /admin/cache exposes totals and per-instance occupancy.
+	var stats struct {
+		Enabled   bool  `json:"enabled"`
+		Entries   int64 `json:"entries"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Instances []struct {
+			ID         string `json:"id"`
+			Generation uint64 `json:"generation"`
+			Entries    int    `json:"entries"`
+		} `json:"instances"`
+	}
+	status, body = doJSON(t, "GET", ts.URL+"/admin/cache", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/admin/cache: %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Enabled || stats.Entries == 0 || stats.Hits == 0 || stats.Misses == 0 {
+		t.Fatalf("/admin/cache stats: %s", body)
+	}
+	if len(stats.Instances) != 1 || stats.Instances[0].ID != id || stats.Instances[0].Generation != out.Version {
+		t.Fatalf("/admin/cache per-instance: %s", body)
+	}
+
+	// The engine_result_cache_* family is exported.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"engine_result_cache_hits_total",
+		"engine_result_cache_misses_total",
+		"engine_result_cache_entries",
+		"engine_result_cache_bytes",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
 // TestConcurrentHTTP drives the full stack concurrently: one instance,
 // parallel query/core/ingest requests over real HTTP. Under -race this
 // covers handler → engine → batcher interleavings end to end.

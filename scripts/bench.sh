@@ -9,7 +9,11 @@
 # Options:
 #   --check               compare the fresh run against the committed
 #                         baseline (bench/baseline.json) with benchcheck
-#                         and exit non-zero on a >25% ns/op regression
+#                         and exit non-zero on a >25% ns/op regression;
+#                         the comparison is also written to
+#                         <output-dir>/compare.txt for CI artifacts
+#   --strict              with --check, also fail when a baseline
+#                         benchmark is missing from the fresh run
 #   --update-baseline     copy the fresh run over bench/baseline.json
 #   --benchtime D         pass -benchtime D to `go test` (default 100ms;
 #                         the baseline must be recorded with the same D)
@@ -27,11 +31,13 @@ outdir="bench"
 benchtime="100ms"
 baseline="bench/baseline.json"
 check=0
+strict=0
 update=0
 
 while [ "$#" -gt 0 ]; do
     case "$1" in
         --check) check=1 ;;
+        --strict) strict=1 ;;
         --update-baseline) update=1 ;;
         --benchtime)
             [ "$#" -ge 2 ] || { echo "bench.sh: --benchtime needs a value" >&2; exit 2; }
@@ -39,7 +45,7 @@ while [ "$#" -gt 0 ]; do
         --baseline)
             [ "$#" -ge 2 ] || { echo "bench.sh: --baseline needs a value" >&2; exit 2; }
             baseline="$2"; shift ;;
-        -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+        -h|--help) sed -n '2,26p' "$0"; exit 0 ;;
         -*) echo "bench.sh: unknown option $1" >&2; exit 2 ;;
         *) outdir="$1" ;;
     esac
@@ -96,5 +102,13 @@ if [ "$update" -eq 1 ]; then
 fi
 
 if [ "$check" -eq 1 ]; then
-    go run ./cmd/benchcheck -baseline "$baseline" -new "$json" -max-regress 25
+    strict_flag=""
+    [ "$strict" -eq 1 ] && strict_flag="-strict"
+    # shellcheck disable=SC2086  # strict_flag is empty or a single flag
+    # No pipe into tee: the comparison's exit status must fail this script.
+    rc=0
+    go run ./cmd/benchcheck -baseline "$baseline" -new "$json" -max-regress 25 \
+        $strict_flag >"$outdir/compare.txt" 2>&1 || rc=$?
+    cat "$outdir/compare.txt"
+    exit "$rc"
 fi
