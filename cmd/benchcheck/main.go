@@ -9,6 +9,10 @@
 // A benchmark counts as regressed when its new ns/op exceeds the baseline
 // by more than -max-regress percent AND the absolute slowdown is at least
 // -min-ns nanoseconds (so sub-100ns timer noise never trips the gate).
+// Each comparison line also shows allocs/op next to ns/op — informational,
+// not gated: allocation-count changes are the usual early signal behind a
+// later ns/op regression, and surfacing them in the same output makes the
+// CI artifact diffable for both at once.
 // Benchmarks only in the new run never fail the gate (they have no
 // baseline yet). Benchmarks only in the baseline print MISSING; by default
 // that is informational, but with -strict (on in CI) missing entries fail
@@ -117,11 +121,13 @@ func main() {
 			status = "REGRESSED"
 			failed++
 		}
-		fmt.Printf("%-9s %-50s %12.1f -> %12.1f ns/op  %+7.1f%%\n", status, k, oldNs, newNs, deltaPct)
+		fmt.Printf("%-9s %-50s %12.1f -> %12.1f ns/op  %+7.1f%%  %s\n",
+			status, k, oldNs, newNs, deltaPct, allocsDelta(b.AllocsOp, c.AllocsOp))
 	}
 	for k := range cur {
 		if _, ok := base[k]; !ok {
-			fmt.Printf("NEW      %-50s %.1f ns/op (no baseline)\n", k, *cur[k].NsOp)
+			fmt.Printf("NEW      %-50s %.1f ns/op (no baseline)  %s\n",
+				k, *cur[k].NsOp, allocsDelta(nil, cur[k].AllocsOp))
 		}
 	}
 	if compared == 0 {
@@ -137,4 +143,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of baseline\n", compared, *maxRegress)
+}
+
+// allocsDelta renders the allocs/op pair for a comparison line; either
+// side may be absent (old bench.sh output, or a benchmark without
+// -benchmem data).
+func allocsDelta(old, new *float64) string {
+	switch {
+	case old != nil && new != nil:
+		return fmt.Sprintf("%7.0f -> %7.0f allocs/op", *old, *new)
+	case new != nil:
+		return fmt.Sprintf("%7s -> %7.0f allocs/op", "?", *new)
+	case old != nil:
+		return fmt.Sprintf("%7.0f -> %7s allocs/op", *old, "?")
+	default:
+		return ""
+	}
 }

@@ -12,9 +12,20 @@
 //	         [-batch 256] [-batch-wait 2ms] [-shards 8]
 //	         [-data-dir DIR] [-wal-sync always|interval|none]
 //	         [-wal-sync-interval 100ms]
+//	         [-resident-budget-bytes N] [-cold-after 0]
+//	         [-snapshot-backend fs|s3] [-s3-endpoint URL] [-s3-bucket B]
+//	         [-s3-prefix P] [-s3-region R] [-s3-access-key K] [-s3-secret-key S]
+//
+// Tiered storage: with a snapshot backend configured, idle instances are
+// snapshotted into per-instance blobs, evicted from RAM when the resident
+// byte budget (or the -cold-after idle deadline) demands it, and faulted
+// back in transparently on next touch. -snapshot-backend fs stores blobs
+// under <data-dir>/cold; s3 speaks the S3 REST dialect (MinIO-compatible,
+// SigV4) against -s3-endpoint.
 //
 // Endpoints (see internal/server): /instances, /query, /core, /prob,
-// /trust, /deletion, /admin/snapshot, /admin/compact, /metrics, /healthz.
+// /trust, /deletion, /admin/snapshot, /admin/compact, /admin/evict,
+// /admin/residency, /metrics, /healthz.
 //
 // Quick start:
 //
@@ -36,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -43,6 +55,7 @@ import (
 	"provmin/internal/metrics"
 	"provmin/internal/persist"
 	"provmin/internal/server"
+	"provmin/internal/tier"
 )
 
 func main() {
@@ -58,6 +71,15 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
 		walSync       = flag.String("wal-sync", "always", "WAL durability: always, interval or none")
 		syncInterval  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period for -wal-sync interval")
+		residentBytes = flag.Int64("resident-budget-bytes", 0, "approximate byte budget for resident instances (0 = unbounded; needs a snapshot backend)")
+		coldAfter     = flag.Duration("cold-after", 0, "evict instances idle this long (0 = never; needs a snapshot backend)")
+		snapBackend   = flag.String("snapshot-backend", "", "cold-tier blob store: fs or s3 (default fs under -data-dir when tiering flags are set)")
+		s3Endpoint    = flag.String("s3-endpoint", "", "S3-compatible endpoint URL for -snapshot-backend s3")
+		s3Bucket      = flag.String("s3-bucket", "provmind", "bucket for -snapshot-backend s3")
+		s3Prefix      = flag.String("s3-prefix", "", "key prefix for -snapshot-backend s3")
+		s3Region      = flag.String("s3-region", "", "signing region for -snapshot-backend s3")
+		s3AccessKey   = flag.String("s3-access-key", "", "access key for -snapshot-backend s3 (empty = anonymous)")
+		s3SecretKey   = flag.String("s3-secret-key", "", "secret key for -snapshot-backend s3")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -67,6 +89,46 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
+
+	// Resolve the cold-tier backend before the WAL opens: replay needs it to
+	// read fault-in records. Tiering flags without an explicit backend
+	// default to fs (which needs -data-dir for a home).
+	backendName := *snapBackend
+	if backendName == "" && (*residentBytes > 0 || *coldAfter > 0) {
+		backendName = "fs"
+	}
+	var backend tier.SnapshotBackend
+	switch backendName {
+	case "":
+	case "fs":
+		if *dataDir == "" {
+			log.Fatalf("provmind: -snapshot-backend fs needs -data-dir for the blob directory")
+		}
+		var err error
+		backend, err = tier.NewFSBackend(filepath.Join(*dataDir, "cold"))
+		if err != nil {
+			log.Fatalf("provmind: open cold blob dir: %v", err)
+		}
+	case "s3":
+		if *s3Endpoint == "" {
+			log.Fatalf("provmind: -snapshot-backend s3 needs -s3-endpoint")
+		}
+		var err error
+		backend, err = tier.NewObjectBackend(tier.ObjectConfig{
+			Endpoint:  *s3Endpoint,
+			Bucket:    *s3Bucket,
+			Prefix:    *s3Prefix,
+			Region:    *s3Region,
+			AccessKey: *s3AccessKey,
+			SecretKey: *s3SecretKey,
+		})
+		if err != nil {
+			log.Fatalf("provmind: configure s3 backend: %v", err)
+		}
+	default:
+		log.Fatalf("provmind: unknown -snapshot-backend %q (want fs or s3)", backendName)
+	}
+
 	var logStore *persist.Log
 	if *dataDir != "" {
 		mode, err := persist.ParseSyncMode(*walSync)
@@ -80,6 +142,7 @@ func main() {
 			Sync:         mode,
 			SyncInterval: *syncInterval,
 			Metrics:      reg,
+			Cold:         backend,
 		})
 		if err != nil {
 			log.Fatalf("provmind: open data dir: %v", err)
@@ -98,17 +161,32 @@ func main() {
 		resBytes = -1
 	}
 	eng := engine.New(engine.Config{
-		Workers:          *workers,
-		CacheSize:        *cacheSize,
-		ResultCacheSize:  resSize,
-		ResultCacheBytes: resBytes,
-		IngestBatchSize:  *batch,
-		IngestMaxWait:    *batchWait,
-		Shards:           *shards,
-		Persist:          logStore,
-		Metrics:          reg,
+		Workers:             *workers,
+		CacheSize:           *cacheSize,
+		ResultCacheSize:     resSize,
+		ResultCacheBytes:    resBytes,
+		IngestBatchSize:     *batch,
+		IngestMaxWait:       *batchWait,
+		Shards:              *shards,
+		Persist:             logStore,
+		Metrics:             reg,
+		Backend:             backend,
+		ResidentBudgetBytes: *residentBytes,
+		ColdAfter:           *coldAfter,
 	})
 	defer eng.Close()
+	if backend != nil {
+		// Register cold blobs (without loading them) and GC blobs of
+		// dropped instances whose live deletion was lost to a crash.
+		if err := eng.AdoptCold(context.Background()); err != nil {
+			log.Printf("provmind: adopt cold blobs: %v", err)
+			eng.Close()
+			os.Exit(1)
+		}
+		res := eng.Residency()
+		log.Printf("provmind: tiered storage on %s (budget=%d bytes, cold-after=%s): %d resident, %d cold",
+			backend, *residentBytes, *coldAfter, len(res.Resident), len(res.Cold))
+	}
 
 	// Listen before logging so the printed address is the bound one —
 	// with ":0" the tests (and operators) can parse the real port.

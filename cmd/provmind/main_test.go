@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -15,6 +16,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"provmin/internal/tier"
 )
 
 // buildBinary compiles provmind once per test binary.
@@ -288,4 +291,127 @@ func TestFlagValidation(t *testing.T) {
 		t.Errorf("unexpected error type %T: %v", err, err)
 	}
 	_ = os.Remove(bin)
+}
+
+// TestSIGKILLEvictedRecoversCold: an instance evicted to the cold tier
+// before a SIGKILL must come back *cold* after restart — registered from
+// the blob listing, not replayed into RAM — and the first /core after the
+// transparent fault-in must be byte-identical to the pre-evict response.
+func TestSIGKILLEvictedRecoversCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real processes")
+	}
+	bin := buildBinary(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-data-dir", dataDir, "-snapshot-backend", "fs", "-shards", "4"}
+
+	url, cmd := startServer(t, bin, args...)
+	code, body := httpDo(t, "POST", url+"/instances", `{"initial":"R r1 a a\nR r2 a b\nR r3 b a"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	for i := 0; i < 5; i++ {
+		code, body = httpDo(t, "POST", url+"/instances/i1/tuples",
+			fmt.Sprintf(`{"facts":[{"rel":"R","tag":"w%d","values":["n%d","a"]}]}`, i, i))
+		if code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, code, body)
+		}
+	}
+	// A second instance that stays resident, so the restart shows a split.
+	if code, body := httpDo(t, "POST", url+"/instances", "{}"); code != http.StatusCreated {
+		t.Fatalf("create filler: %d %s", code, body)
+	}
+	coreQ := "/core?instance=i1&q=ans(x)+:-+R(x,y),+R(y,x)"
+	code, wantCore := httpDo(t, "GET", url+coreQ, "")
+	if code != http.StatusOK {
+		t.Fatalf("core pre-evict: %d %s", code, wantCore)
+	}
+	if code, body := httpDo(t, "POST", url+"/admin/evict", `{"instance":"i1"}`); code != http.StatusOK {
+		t.Fatalf("evict: %d %s", code, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	url2, _ := startServer(t, bin, args...)
+	// Residency is side-effect free: it proves i1 came back cold without
+	// destroying its coldness.
+	code, res := httpDo(t, "GET", url2+"/admin/residency", "")
+	if code != http.StatusOK {
+		t.Fatalf("residency after restart: %d %s", code, res)
+	}
+	var resInfo struct {
+		Resident []struct {
+			ID string `json:"id"`
+		} `json:"resident"`
+		Cold []string `json:"cold"`
+	}
+	if err := json.Unmarshal(res, &resInfo); err != nil {
+		t.Fatalf("residency body %s: %v", res, err)
+	}
+	if len(resInfo.Cold) != 1 || resInfo.Cold[0] != "i1" {
+		t.Fatalf("cold after restart = %s, want [i1]", res)
+	}
+	if len(resInfo.Resident) != 1 || resInfo.Resident[0].ID != "i2" {
+		t.Fatalf("resident after restart = %s, want [i2]", res)
+	}
+	// First touch faults it in; the answer must match the pre-evict bytes.
+	code, gotCore := httpDo(t, "GET", url2+coreQ, "")
+	if code != http.StatusOK {
+		t.Fatalf("core after restart: %d %s", code, gotCore)
+	}
+	if !bytes.Equal(gotCore, wantCore) {
+		t.Errorf("/core not byte-identical across evict+SIGKILL:\npre:  %s\npost: %s", wantCore, gotCore)
+	}
+}
+
+// TestS3BackendEndToEnd drives the binary against an S3-compatible object
+// store (the in-test fake, over real HTTP with SigV4): evict to it, kill,
+// restart, fault back in.
+func TestS3BackendEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real processes")
+	}
+	store := httptest.NewServer(tier.NewFakeObjectStore("provmind"))
+	defer store.Close()
+	bin := buildBinary(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{
+		"-data-dir", dataDir, "-shards", "2",
+		"-snapshot-backend", "s3", "-s3-endpoint", store.URL, "-s3-bucket", "provmind",
+		"-s3-prefix", "prod", "-s3-access-key", "k", "-s3-secret-key", "s",
+	}
+
+	url, cmd := startServer(t, bin, args...)
+	if code, body := httpDo(t, "POST", url+"/instances", `{"initial":"R r1 a a\nR r2 a b\nR r3 b a"}`); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	coreQ := "/core?instance=i1&q=ans(x)+:-+R(x,y),+R(y,x)"
+	code, wantCore := httpDo(t, "GET", url+coreQ, "")
+	if code != http.StatusOK {
+		t.Fatalf("core: %d %s", code, wantCore)
+	}
+	if code, body := httpDo(t, "POST", url+"/admin/evict", `{"instance":"i1"}`); code != http.StatusOK {
+		t.Fatalf("evict to s3: %d %s", code, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	url2, _ := startServer(t, bin, args...)
+	code, res := httpDo(t, "GET", url2+"/admin/residency", "")
+	if code != http.StatusOK || !strings.Contains(string(res), `"cold":["i1"]`) {
+		t.Fatalf("residency after restart: %d %s, want i1 cold", code, res)
+	}
+	code, gotCore := httpDo(t, "GET", url2+coreQ, "")
+	if code != http.StatusOK {
+		t.Fatalf("core after restart: %d %s", code, gotCore)
+	}
+	if !bytes.Equal(gotCore, wantCore) {
+		t.Errorf("/core not byte-identical via s3 tier:\npre:  %s\npost: %s", wantCore, gotCore)
+	}
 }

@@ -182,13 +182,19 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 		gen := b.inst.version + 1
 		b.inst.mu.RUnlock()
 		applied := false
+		var delta, newBytes int64
 		apply := func(seq uint64) {
 			applied = true
 			b.inst.mu.Lock()
 			for _, f := range facts {
+				// The size delta must be read before the fact lands: it
+				// compares the fact against the current relation state.
+				delta += factDelta(b.inst.db, f)
 				// Validation guarantees application cannot fail.
 				_ = persist.ApplyFact(b.inst.db, f)
 			}
+			b.inst.bytes += delta
+			newBytes = b.inst.bytes
 			b.inst.version = gen
 			b.inst.lastSeq = seq
 			// Every cached result is now stale; sweep eagerly so dead
@@ -217,6 +223,9 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 			}
 		} else {
 			apply(0)
+		}
+		if applied {
+			b.eng.noteInstanceBytes(b.inst.id, delta, newBytes)
 		}
 	}
 	for _, req := range valid {

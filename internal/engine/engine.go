@@ -40,6 +40,7 @@ import (
 	"provmin/internal/persist"
 	"provmin/internal/query"
 	"provmin/internal/semiring"
+	"provmin/internal/tier"
 )
 
 // Config tunes a new Engine. Zero values select sensible defaults.
@@ -73,6 +74,23 @@ type Config struct {
 	// Metrics receives engine counters and histograms; a private registry
 	// is created when nil.
 	Metrics *metrics.Registry
+	// Backend enables tiered instance storage (see residency.go): idle
+	// instances are snapshotted into per-instance blobs, evicted from RAM
+	// and faulted back in transparently on next touch. When the engine is
+	// durable the same backend must be passed as persist.Options.Cold so
+	// WAL replay can read the blobs.
+	Backend tier.SnapshotBackend
+	// ResidentBudgetBytes bounds the approximate bytes of resident
+	// instances; the janitor evicts LRU instances above it (0 = unbounded).
+	// Ignored without Backend.
+	ResidentBudgetBytes int64
+	// ColdAfter evicts instances idle for at least this long regardless of
+	// the byte budget (0 = never). Ignored without Backend.
+	ColdAfter time.Duration
+	// JanitorInterval is the residency-enforcement period (default 500ms;
+	// negative disables the goroutine — tests call EnforceResidency
+	// directly). Ignored without Backend.
+	JanitorInterval time.Duration
 }
 
 // ErrClosed is returned for operations on a closed engine — a service
@@ -109,6 +127,17 @@ type Engine struct {
 	// cache misses for one canonical key run MinProv once and share it.
 	sfMu     sync.Mutex
 	inflight map[string]*minFlight
+
+	// Tiered-storage state (residency.go). backend/tracker are nil/unused
+	// when tiering is off; residentBytes and per-instance byte accounting
+	// are maintained either way for /admin/cache and /metrics.
+	backend       tier.SnapshotBackend
+	tracker       *tier.Tracker
+	residentBytes atomic.Int64
+	resMu         sync.Mutex
+	resFlights    map[string]*resFlight
+	janitorStop   chan struct{}
+	janitorDone   chan struct{}
 }
 
 // regShard is one registry stripe. Lock ordering: a shard's WAL mutex (in
@@ -119,6 +148,11 @@ type regShard struct {
 	mu        sync.RWMutex
 	instances map[string]*instance
 	count     atomic.Int64
+	// cold holds stub entries for this stripe's evicted instances: the
+	// last-known InstanceInfo (zero-valued for boot-discovered blobs) with
+	// State "cold". Guarded by mu; coldCount mirrors len(cold).
+	cold      map[string]InstanceInfo
+	coldCount atomic.Int64
 }
 
 // shardOf maps an instance id to its registry stripe with the same FNV
@@ -139,13 +173,23 @@ type minFlight struct {
 type instance struct {
 	id string
 
-	mu      sync.RWMutex // guards db, version and lastSeq
+	mu      sync.RWMutex // guards db, version, lastSeq, bytes and batcher
 	db      *db.Instance
 	version uint64 // generation counter: bumped on every applied ingest batch
 	lastSeq uint64 // last WAL sequence applied (0 when ephemeral)
+	bytes   int64  // approximate resident size (instanceCost + factDelta)
 
 	batcher *ingestBatcher
 	results *resultCache // generation-stamped evaluated results
+}
+
+// currentBatcher reads the batcher under the instance lock: an aborted
+// eviction replaces a closed batcher with a fresh one (reviveBatcher), so
+// the field is no longer immutable after construction.
+func (in *instance) currentBatcher() *ingestBatcher {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.batcher
 }
 
 // New creates an engine and starts its worker pool. With cfg.Persist set,
@@ -174,30 +218,47 @@ func New(cfg Config) *Engine {
 		nShards = 8
 	}
 	e := &Engine{
-		cfg:      cfg,
-		reg:      reg,
-		pool:     newPool(cfg.Workers),
-		cache:    newMinCache(cfg.CacheSize),
-		resStats: newResultCacheStats(reg),
-		log:      cfg.Persist,
-		shards:   make([]*regShard, nShards),
-		inflight: map[string]*minFlight{},
+		cfg:        cfg,
+		reg:        reg,
+		pool:       newPool(cfg.Workers),
+		cache:      newMinCache(cfg.CacheSize),
+		resStats:   newResultCacheStats(reg),
+		log:        cfg.Persist,
+		shards:     make([]*regShard, nShards),
+		inflight:   map[string]*minFlight{},
+		backend:    cfg.Backend,
+		tracker:    tier.NewTracker(),
+		resFlights: map[string]*resFlight{},
 	}
 	for i := range e.shards {
-		e.shards[i] = &regShard{instances: map[string]*instance{}}
+		e.shards[i] = &regShard{instances: map[string]*instance{}, cold: map[string]InstanceInfo{}}
 	}
 	if e.log != nil {
+		now := time.Now()
 		for _, rec := range e.log.TakeRecovered() {
-			in := &instance{id: rec.ID, db: rec.DB, version: rec.Version, lastSeq: rec.LastSeq}
+			in := &instance{id: rec.ID, db: rec.DB, version: rec.Version, lastSeq: rec.LastSeq, bytes: instanceCost(rec.DB)}
 			in.results = e.newResultCache()
 			in.batcher = newIngestBatcher(e, in, cfg.IngestBatchSize, cfg.IngestMaxWait)
 			sh := e.shardOf(rec.ID)
 			sh.instances[rec.ID] = in
 			sh.count.Add(1)
+			e.residentBytes.Add(in.bytes)
+			if e.backend != nil {
+				e.tracker.Add(rec.ID, in.bytes, now)
+			}
 		}
 		e.nextID.Store(e.log.NextID())
 	}
 	e.updateShardGauges()
+	if e.backend != nil && cfg.JanitorInterval >= 0 {
+		interval := cfg.JanitorInterval
+		if interval == 0 {
+			interval = 500 * time.Millisecond
+		}
+		e.janitorStop = make(chan struct{})
+		e.janitorDone = make(chan struct{})
+		go e.janitor(interval)
+	}
 	return e
 }
 
@@ -213,6 +274,12 @@ func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// Quiesce the janitor first: after this, no new evictions start (any
+	// in flight fails at the closed check or on the closed log, harmlessly).
+	if e.janitorStop != nil {
+		close(e.janitorStop)
+		<-e.janitorDone
+	}
 	var insts []*instance
 	for _, sh := range e.shards {
 		sh.mu.Lock()
@@ -222,7 +289,7 @@ func (e *Engine) Close() {
 		sh.mu.Unlock()
 	}
 	for _, in := range insts {
-		in.batcher.close()
+		in.currentBatcher().close()
 		// Symmetric with DropInstance: an embedder reusing the metrics
 		// registry across engines must not inherit stale cache occupancy.
 		in.results.purge()
@@ -233,12 +300,16 @@ func (e *Engine) Close() {
 	}
 }
 
-// InstanceInfo describes one instance for listings.
+// InstanceInfo describes one instance for listings. State is "cold" for
+// evicted instances (whose counts are the last known before eviction, or
+// zero for blobs discovered at boot) and empty for resident ones, so
+// untiered listings render exactly as before.
 type InstanceInfo struct {
 	ID        string `json:"id"`
 	Relations int    `json:"relations"`
 	Tuples    int    `json:"tuples"`
 	Version   uint64 `json:"version"`
+	State     string `json:"state,omitempty"`
 }
 
 // CreateInstance registers a new annotated instance, optionally seeded from
@@ -257,7 +328,7 @@ func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 	if e.closed.Load() {
 		return InstanceInfo{}, ErrClosed
 	}
-	in := &instance{id: fmt.Sprintf("i%d", e.nextID.Add(1)), db: d}
+	in := &instance{id: fmt.Sprintf("i%d", e.nextID.Add(1)), db: d, bytes: instanceCost(d)}
 	in.results = e.newResultCache()
 	in.batcher = newIngestBatcher(e, in, e.cfg.IngestBatchSize, e.cfg.IngestMaxWait)
 	inserted := false
@@ -275,6 +346,12 @@ func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 			inserted = true
 		}
 		sh.mu.Unlock()
+		if inserted {
+			e.residentBytes.Add(in.bytes)
+			if e.backend != nil {
+				e.tracker.Add(in.id, in.bytes, time.Now())
+			}
+		}
 	}
 	if e.log != nil {
 		_, err := e.log.Commit(persist.Record{Op: persist.OpCreate, ID: in.id, Initial: initial}, insert)
@@ -312,19 +389,74 @@ func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 // returns an error — the instance is gone from memory but the drop may
 // not be durable.
 func (e *Engine) DropInstance(id string) (bool, error) {
+	if e.backend != nil {
+		// Serialize against evict/fault-in so the instance cannot change
+		// residency state under the drop.
+		release := e.lockResidency(id)
+		defer release()
+	}
 	sh := e.shardOf(id)
 	sh.mu.RLock()
 	in, ok := sh.instances[id]
+	_, cold := sh.cold[id]
 	sh.mu.RUnlock()
 	if !ok {
+		if cold {
+			return e.dropCold(id)
+		}
 		return false, nil
 	}
 	removed := false
+	var bytes int64
 	remove := func(uint64) {
 		sh.mu.Lock()
 		if cur, ok := sh.instances[id]; ok && cur == in {
 			delete(sh.instances, id)
 			sh.count.Add(-1)
+			removed = true
+		}
+		sh.mu.Unlock()
+	}
+	finish := func() {
+		in.mu.RLock()
+		bytes = in.bytes
+		in.mu.RUnlock()
+		e.residentBytes.Add(-bytes)
+		e.tracker.Remove(id)
+		in.currentBatcher().close()
+		in.results.purge()
+		e.gcBlob(id)
+	}
+	if e.log != nil {
+		if _, err := e.log.Commit(persist.Record{Op: persist.OpDrop, ID: id}, remove); err != nil {
+			if !removed {
+				return false, fmt.Errorf("drop %s: %w", id, err)
+			}
+			e.updateShardGauges()
+			finish()
+			return true, fmt.Errorf("drop %s: applied but not confirmed durable: %w", id, err)
+		}
+	} else {
+		remove(0)
+	}
+	e.updateShardGauges()
+	if removed {
+		finish()
+	}
+	return removed, nil
+}
+
+// dropCold removes a cold instance: the drop record first (boot GC retries
+// the blob deletion via DroppedIDs if we crash or fail past this point),
+// then the blob itself. Caller holds the residency flight lock.
+func (e *Engine) dropCold(id string) (bool, error) {
+	sh := e.shardOf(id)
+	removed := false
+	remove := func(uint64) {
+		sh.mu.Lock()
+		if _, ok := sh.cold[id]; ok {
+			delete(sh.cold, id)
+			sh.coldCount.Add(-1)
 			removed = true
 		}
 		sh.mu.Unlock()
@@ -335,8 +467,7 @@ func (e *Engine) DropInstance(id string) (bool, error) {
 				return false, fmt.Errorf("drop %s: %w", id, err)
 			}
 			e.updateShardGauges()
-			in.batcher.close()
-			in.results.purge()
+			e.gcBlob(id)
 			return true, fmt.Errorf("drop %s: applied but not confirmed durable: %w", id, err)
 		}
 	} else {
@@ -344,10 +475,21 @@ func (e *Engine) DropInstance(id string) (bool, error) {
 	}
 	e.updateShardGauges()
 	if removed {
-		in.batcher.close()
-		in.results.purge()
+		e.gcBlob(id)
 	}
 	return removed, nil
+}
+
+// gcBlob best-effort deletes an instance's cold blob after a drop. A
+// failure only leaves garbage (counted): replay ignores blobs of dropped
+// ids and boot GC retries the deletion.
+func (e *Engine) gcBlob(id string) {
+	if e.backend == nil {
+		return
+	}
+	if err := e.backend.Delete(context.Background(), id); err != nil {
+		e.reg.Counter("engine_blob_gc_failures_total").Inc()
+	}
 }
 
 // newResultCache builds one instance's result cache over the engine-wide
@@ -360,11 +502,12 @@ func (e *Engine) newResultCache() *resultCache {
 // the lock-free per-stripe counters, so create/drop on one stripe never
 // touches another stripe's lock.
 func (e *Engine) updateShardGauges() {
-	var total, maxN int64
+	var resident, cold, maxN int64
 	minN := int64(-1)
 	for _, sh := range e.shards {
 		n := sh.count.Load()
-		total += n
+		resident += n
+		cold += sh.coldCount.Load()
 		if n > maxN {
 			maxN = n
 		}
@@ -372,36 +515,47 @@ func (e *Engine) updateShardGauges() {
 			minN = n
 		}
 	}
-	e.reg.Gauge("engine_instances").Set(total)
+	e.reg.Gauge("engine_instances").Set(resident + cold)
+	e.reg.Gauge("engine_resident_instances").Set(resident)
+	e.reg.Gauge("engine_cold_instances").Set(cold)
+	e.reg.Gauge("engine_resident_bytes").Set(e.residentBytes.Load())
 	e.reg.Gauge("engine_shards").Set(int64(len(e.shards)))
 	e.reg.Gauge("engine_shard_max_instances").Set(maxN)
 	e.reg.Gauge("engine_shard_min_instances").Set(minN)
 }
 
-// InstanceCount returns the number of registered instances from the
-// lock-free stripe counters — cheap enough for liveness probes.
+// InstanceCount returns the number of registered instances — resident and
+// cold — from the lock-free stripe counters, cheap enough for liveness
+// probes.
 func (e *Engine) InstanceCount() int {
 	var total int64
 	for _, sh := range e.shards {
-		total += sh.count.Load()
+		total += sh.count.Load() + sh.coldCount.Load()
 	}
 	return int(total)
 }
 
-// Instances lists every instance, sorted by id.
+// Instances lists every instance, resident and cold, sorted by id. Cold
+// entries are served from their registry stubs — listing never faults
+// anything in.
 func (e *Engine) Instances() []InstanceInfo {
 	var insts []*instance
+	var colds []InstanceInfo
 	for _, sh := range e.shards {
 		sh.mu.RLock()
 		for _, in := range sh.instances {
 			insts = append(insts, in)
 		}
+		for _, info := range sh.cold {
+			colds = append(colds, info)
+		}
 		sh.mu.RUnlock()
 	}
-	out := make([]InstanceInfo, 0, len(insts))
+	out := make([]InstanceInfo, 0, len(insts)+len(colds))
 	for _, in := range insts {
 		out = append(out, e.describe(in))
 	}
+	out = append(out, colds...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -462,18 +616,42 @@ func (e *Engine) describe(in *instance) InstanceInfo {
 	}
 }
 
+// lookup resolves an instance id to its resident instance. With tiering
+// enabled a cold instance is faulted back in first; the loop re-checks
+// residency after each fault-in because a concurrent eviction can undo it
+// (the janitor under byte pressure), bounded by faultInRetries so a
+// pathologically tight budget surfaces as an error instead of a livelock.
 func (e *Engine) lookup(id string) (*instance, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
 	sh := e.shardOf(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	in, ok := sh.instances[id]
-	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
+	if e.backend == nil {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		in, ok := sh.instances[id]
+		if !ok {
+			return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
+		}
+		return in, nil
 	}
-	return in, nil
+	for range faultInRetries {
+		sh.mu.RLock()
+		in, ok := sh.instances[id]
+		_, cold := sh.cold[id]
+		sh.mu.RUnlock()
+		if ok {
+			e.tracker.Touch(id, time.Now())
+			return in, nil
+		}
+		if !cold {
+			return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
+		}
+		if err := e.faultIn(id); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("instance %q: faulted in %d times without staying resident (resident budget too small?)", id, faultInRetries)
 }
 
 // evalCached evaluates u over the instance under its read lock, serving
@@ -509,18 +687,31 @@ func (e *Engine) evalCached(in *instance, u *query.UCQ) (res *eval.Result, gen u
 // then says "applied but not confirmed durable", and callers must treat
 // the write as neither lost nor guaranteed.
 func (e *Engine) Ingest(id string, facts []Fact) error {
-	in, err := e.lookup(id)
-	if err != nil {
-		return err
-	}
-	if len(facts) == 0 {
+	for range faultInRetries {
+		in, err := e.lookup(id)
+		if err != nil {
+			return err
+		}
+		if len(facts) == 0 {
+			return nil
+		}
+		if err := in.currentBatcher().add(facts); err != nil {
+			if errors.Is(err, errInstanceClosed) && !e.closed.Load() {
+				// The batcher was closed by an eviction racing this write.
+				// Wait for the residency transition to settle, then retry:
+				// lookup will fault the instance back in with a live batcher.
+				e.waitResidency(id)
+				continue
+			}
+			if errors.Is(err, errInstanceClosed) {
+				return ErrClosed
+			}
+			return err
+		}
+		e.reg.Counter("engine_ingest_facts_total").Add(int64(len(facts)))
 		return nil
 	}
-	if err := in.batcher.add(facts); err != nil {
-		return err
-	}
-	e.reg.Counter("engine_ingest_facts_total").Add(int64(len(facts)))
-	return nil
+	return fmt.Errorf("ingest %s: instance kept being evicted mid-write (resident budget too small?)", id)
 }
 
 // ParseUnion parses query text into a UCQ≠ (one rule, or several separated
@@ -614,12 +805,17 @@ func (e *Engine) Minimize(u *query.UCQ) (*query.UCQ, bool) {
 // CacheLen returns the number of cached minimized queries.
 func (e *Engine) CacheLen() int { return e.cache.len() }
 
-// InstanceCacheStats is one instance's result-cache occupancy.
+// InstanceCacheStats is one instance's result-cache occupancy plus the
+// approximate resident size of the instance itself.
 type InstanceCacheStats struct {
 	ID         string `json:"id"`
 	Generation uint64 `json:"generation"`
 	Entries    int    `json:"entries"`
 	Bytes      int64  `json:"bytes"`
+	// InstanceBytes is the approximate resident footprint of the instance
+	// database (tags, values, index bookkeeping) — the unit the tiered
+	// byte budget is enforced in.
+	InstanceBytes int64 `json:"instance_bytes"`
 }
 
 // ResultCacheStats reports the result-cache state across all instances:
@@ -659,10 +855,11 @@ func (e *Engine) ResultCacheStatsNow() ResultCacheStats {
 		for _, in := range sh.instances {
 			entries, bytes := in.results.usage()
 			in.mu.RLock()
-			gen := in.version
+			gen, instBytes := in.version, in.bytes
 			in.mu.RUnlock()
 			st.Instances = append(st.Instances, InstanceCacheStats{
 				ID: in.id, Generation: gen, Entries: entries, Bytes: bytes,
+				InstanceBytes: instBytes,
 			})
 		}
 		sh.mu.RUnlock()

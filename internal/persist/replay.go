@@ -1,9 +1,12 @@
 package persist
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -72,7 +75,31 @@ func (l *Log) replay() (reshard bool, err error) {
 	// instance's op order while making cross-stripe replay deterministic.
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
 
-	var maxSeq, maxID uint64
+	// Residency pre-pass: an instance whose *final* op is an evict lives in
+	// a cold blob and must not be replayed into RAM at all — booting a host
+	// with a large cold population would otherwise materialize every cold
+	// instance transiently and defeat the tier. Dropped instances likewise
+	// skip application, and their ids are kept for blob GC.
+	final := map[string]string{}
+	for i := range recs {
+		final[recs[i].ID] = recs[i].Op
+	}
+	l.dropped = nil
+	var coldCount int64
+	for id, op := range final {
+		switch op {
+		case OpEvict:
+			coldCount++
+			delete(insts, id) // an older shard snapshot may still carry it
+		case OpDrop:
+			l.dropped = append(l.dropped, id)
+			delete(insts, id)
+		}
+	}
+	sort.Strings(l.dropped)
+
+	var maxID uint64
+	maxSeq := l.seqFloor
 	for _, in := range insts {
 		if in.LastSeq > maxSeq {
 			maxSeq = in.LastSeq
@@ -85,7 +112,23 @@ func (l *Log) replay() (reshard bool, err error) {
 			maxSeq = rec.Seq
 		}
 		maxID = maxInstanceID(maxID, rec.ID)
-		if err := applyRecord(rec, insts); err != nil {
+		switch final[rec.ID] {
+		case OpEvict, OpDrop:
+			// Finally cold or dropped: the record's effect is fully covered
+			// by the blob (or moot); never build the instance in RAM.
+			l.reg.Counter("persist_replay_residency_skips_total").Inc()
+			continue
+		}
+		var err error
+		if rec.Op == OpFaultIn {
+			err = l.applyFaultIn(rec, insts)
+		} else {
+			err = applyRecord(rec, insts)
+		}
+		if err != nil {
+			if errors.Is(err, errReplayFatal) {
+				return false, err
+			}
 			// A logged record that fails to apply means the validate-
 			// before-log invariant was violated on a previous run; count
 			// it and keep the instance at its pre-record state rather than
@@ -105,6 +148,7 @@ func (l *Log) replay() (reshard bool, err error) {
 	sort.Slice(l.recovered, func(i, j int) bool { return l.recovered[i].ID < l.recovered[j].ID })
 
 	l.reg.Gauge("persist_recovered_instances").Set(int64(len(l.recovered)))
+	l.reg.Gauge("persist_replay_cold_instances").Set(coldCount)
 	l.reg.Gauge("persist_replay_duration_ms").Set(time.Since(start).Milliseconds())
 
 	return l.layoutMismatch(snaps, wals), nil
@@ -148,9 +192,55 @@ func applyRecord(rec *Record, insts map[string]*RecoveredInstance) error {
 		if in, ok := insts[rec.ID]; ok && in.LastSeq < rec.Seq {
 			delete(insts, rec.ID)
 		}
+	case OpEvict:
+		// An intermediate evict (a later fault-in follows, or the instance
+		// ends resident) just releases the RAM copy; the following fault-in
+		// record reloads the blob.
+		if in, ok := insts[rec.ID]; ok && in.LastSeq < rec.Seq {
+			delete(insts, rec.ID)
+		}
 	default:
 		return fmt.Errorf("replay: unknown op %q", rec.Op)
 	}
+	return nil
+}
+
+// errReplayFatal marks replay errors that must fail Open instead of being
+// skipped: misconfiguration or an unreachable cold store, where booting
+// with silently missing instances would be worse than not booting.
+var errReplayFatal = errors.New("persist: fatal replay error")
+
+// applyFaultIn replays one OpFaultIn record: the cold blob re-enters the
+// history here, and ingest records after this point apply on top of it.
+// The blob may be newer than this record (a later evict overwrote it); its
+// LastSeq then skips the intermediate records it already covers, which is
+// exactly the snapshot idempotency rule.
+func (l *Log) applyFaultIn(rec *Record, insts map[string]*RecoveredInstance) error {
+	if in, ok := insts[rec.ID]; ok && in.LastSeq >= rec.Seq {
+		return nil
+	}
+	if l.opts.Cold == nil {
+		return fmt.Errorf("%w: WAL has a fault-in record for %s but no cold snapshot store is configured (-snapshot-backend)", errReplayFatal, rec.ID)
+	}
+	raw, err := l.opts.Cold.Get(context.Background(), rec.ID)
+	if errors.Is(err, fs.ErrNotExist) {
+		// The blob is gone (lost store, or the instance was later dropped
+		// and its blob deleted). Skip: a following drop makes this moot; no
+		// following drop means the instance is lost and counted.
+		return fmt.Errorf("replay faultin %s: %w", rec.ID, err)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: cold store get %s: %v", errReplayFatal, rec.ID, err)
+	}
+	st, err := DecodeInstanceBlob(raw)
+	if err != nil {
+		return fmt.Errorf("replay faultin %s: %w", rec.ID, err)
+	}
+	lastSeq := st.LastSeq
+	if rec.Seq > lastSeq {
+		lastSeq = rec.Seq
+	}
+	insts[rec.ID] = &RecoveredInstance{ID: rec.ID, DB: st.DB, Version: st.Version, LastSeq: lastSeq}
 	return nil
 }
 
@@ -187,6 +277,13 @@ func (l *Log) loadSnapshot(path string, insts map[string]*RecoveredInstance) err
 		return fmt.Errorf("persist: snapshot %s has format version %d, newer than this reader supports (max %d)", path, hdr.Version, store.FormatVersion)
 	}
 	l.bumpNextID(hdr.NextID)
+	// The header's global seq is a floor for the recovered counter: after a
+	// compaction with every instance cold, no envelope or WAL record would
+	// otherwise witness the high-water mark, and reissued seqs would
+	// collide with the LastSeq stored in cold blobs.
+	if hdr.Seq > l.seqFloor {
+		l.seqFloor = hdr.Seq
+	}
 	for {
 		var env store.Envelope
 		if err := dec.Decode(&env); err == io.EOF {

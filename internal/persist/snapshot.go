@@ -37,6 +37,41 @@ type InstanceState struct {
 	LastSeq uint64
 }
 
+// EncodeInstanceBlob renders one instance as a standalone cold-snapshot
+// blob: a store Envelope v2, the same per-instance representation shard
+// snapshot lines use, so the cold tier introduces no new serialization
+// format and blobs stay byte-compatible with what replay already decodes.
+func EncodeInstanceBlob(st InstanceState) ([]byte, error) {
+	if st.ID == "" {
+		return nil, errors.New("persist: cold blob needs an instance id")
+	}
+	env := store.NewEnvelope(st.DB, nil, nil)
+	env.Version = store.FormatVersion
+	env.Instance = st.ID
+	env.InstanceVersion = st.Version
+	env.LastSeq = st.LastSeq
+	return json.Marshal(env)
+}
+
+// DecodeInstanceBlob parses a cold-snapshot blob back into instance state.
+func DecodeInstanceBlob(raw []byte) (InstanceState, error) {
+	var env store.Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return InstanceState{}, fmt.Errorf("persist: cold blob: %w", err)
+	}
+	if err := env.CheckVersion(store.FormatVersion); err != nil {
+		return InstanceState{}, fmt.Errorf("persist: cold blob: %w", err)
+	}
+	if env.Instance == "" {
+		return InstanceState{}, errors.New("persist: cold blob without instance id")
+	}
+	d, _, _, err := env.Decode()
+	if err != nil {
+		return InstanceState{}, fmt.Errorf("persist: cold blob %s: %w", env.Instance, err)
+	}
+	return InstanceState{ID: env.Instance, DB: d, Version: env.InstanceVersion, LastSeq: env.LastSeq}, nil
+}
+
 // SnapshotStats summarizes one Snapshot/Compact run.
 type SnapshotStats struct {
 	Shards    int           `json:"shards"`

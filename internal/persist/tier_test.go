@@ -1,0 +1,280 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+	"testing"
+
+	"provmin/internal/db"
+)
+
+// memCold is a map-backed ColdStore for replay tests.
+type memCold struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+func newMemCold() *memCold { return &memCold{blobs: map[string][]byte{}} }
+
+func (m *memCold) Get(_ context.Context, id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	raw, ok := m.blobs[id]
+	if !ok {
+		return nil, fmt.Errorf("memCold %s: %w", id, fs.ErrNotExist)
+	}
+	return raw, nil
+}
+
+func (m *memCold) put(t *testing.T, st InstanceState) {
+	t.Helper()
+	raw, err := EncodeInstanceBlob(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	m.blobs[st.ID] = raw
+	m.mu.Unlock()
+}
+
+func openCold(t *testing.T, dir string, shards int, cold ColdStore) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, Shards: shards, Cold: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustDB(t *testing.T, text string) *db.Instance {
+	t.Helper()
+	d, err := db.ParseInstance(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInstanceBlobRoundTrip(t *testing.T) {
+	st := InstanceState{
+		ID:      "i9",
+		DB:      mustDB(t, "R r1 a b\nS s1 c"),
+		Version: 7,
+		LastSeq: 42,
+	}
+	raw, err := EncodeInstanceBlob(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeInstanceBlob(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "i9" || got.Version != 7 || got.LastSeq != 42 {
+		t.Fatalf("decoded header = %+v", got)
+	}
+	if got.DB.NumTuples() != 2 || got.DB.Lookup("R").TagOf("a", "b") != "r1" {
+		t.Fatalf("decoded db mismatch: %d tuples", got.DB.NumTuples())
+	}
+
+	if _, err := EncodeInstanceBlob(InstanceState{DB: db.NewInstance()}); err == nil {
+		t.Fatal("EncodeInstanceBlob without id succeeded")
+	}
+	if _, err := DecodeInstanceBlob([]byte("not json")); err == nil {
+		t.Fatal("DecodeInstanceBlob of junk succeeded")
+	}
+	if _, err := DecodeInstanceBlob([]byte(`{"version":1,"database":[]}`)); err == nil {
+		t.Fatal("DecodeInstanceBlob without instance id succeeded")
+	}
+}
+
+// TestReplayFinallyColdStaysOutOfRAM is the core composition rule: an
+// instance whose last op is an evict must not be rebuilt into RAM on boot.
+func TestReplayFinallyColdStaysOutOfRAM(t *testing.T) {
+	dir := t.TempDir()
+	cold := newMemCold()
+	l := openCold(t, dir, 2, cold)
+	commitT(t, l, Record{Op: OpCreate, ID: "i1", Initial: "R r1 a b"})
+	commitT(t, l, Record{Op: OpIngest, ID: "i1", Facts: []Fact{{Rel: "R", Tag: "r2", Values: []string{"b", "c"}}}, Gen: 1})
+	commitT(t, l, Record{Op: OpCreate, ID: "i2"})
+	// Evict i1 the way the engine does: blob first, then the WAL record.
+	evictSeq := l.seq.Load() + 1
+	cold.put(t, InstanceState{ID: "i1", DB: mustDB(t, "R r1 a b\nR r2 b c"), Version: 1, LastSeq: l.seq.Load()})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	l.Close()
+
+	l2 := openCold(t, dir, 2, cold)
+	defer l2.Close()
+	if findRecovered(l2, "i1") != nil {
+		t.Fatal("finally-cold i1 was replayed into RAM")
+	}
+	if findRecovered(l2, "i2") == nil {
+		t.Fatal("resident i2 lost")
+	}
+	if got := l2.reg.Gauge("persist_replay_cold_instances").Value(); got != 1 {
+		t.Errorf("cold gauge = %d, want 1", got)
+	}
+	if l2.seq.Load() < evictSeq {
+		t.Errorf("seq regressed to %d, below evict seq %d", l2.seq.Load(), evictSeq)
+	}
+	if l2.NextID() != 2 {
+		t.Errorf("NextID = %d, want 2", l2.NextID())
+	}
+}
+
+// TestReplayFaultInLayersWAL: evict, fault back in, ingest more — replay
+// must load the blob at the fault-in point and layer the later records.
+func TestReplayFaultInLayersWAL(t *testing.T) {
+	dir := t.TempDir()
+	cold := newMemCold()
+	l := openCold(t, dir, 1, cold)
+	commitT(t, l, Record{Op: OpCreate, ID: "i1", Initial: "R r1 a b"})
+	commitT(t, l, Record{Op: OpIngest, ID: "i1", Facts: []Fact{{Rel: "R", Tag: "r2", Values: []string{"b", "c"}}}, Gen: 1})
+	cold.put(t, InstanceState{ID: "i1", DB: mustDB(t, "R r1 a b\nR r2 b c"), Version: 1, LastSeq: l.seq.Load()})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	commitT(t, l, Record{Op: OpFaultIn, ID: "i1"})
+	commitT(t, l, Record{Op: OpIngest, ID: "i1", Facts: []Fact{{Rel: "R", Tag: "r3", Values: []string{"c", "d"}}}, Gen: 2})
+	l.Close()
+
+	l2 := openCold(t, dir, 1, cold)
+	defer l2.Close()
+	i1 := findRecovered(l2, "i1")
+	if i1 == nil {
+		t.Fatal("i1 not recovered")
+	}
+	if i1.DB.NumTuples() != 3 || i1.Version != 2 {
+		t.Fatalf("i1 = %d tuples, version %d; want 3 tuples, version 2", i1.DB.NumTuples(), i1.Version)
+	}
+	if tag := i1.DB.Lookup("R").TagOf("c", "d"); tag != "r3" {
+		t.Errorf("post-fault-in ingest lost: tag = %q", tag)
+	}
+}
+
+// TestReplayFaultInNewerBlobSkipsCoveredRecords: a later evict overwrote
+// the blob, so replaying an *earlier* fault-in record loads state that
+// already covers the ingests between them; LastSeq must skip those.
+func TestReplayFaultInNewerBlobSkipsCoveredRecords(t *testing.T) {
+	dir := t.TempDir()
+	cold := newMemCold()
+	l := openCold(t, dir, 1, cold)
+	commitT(t, l, Record{Op: OpCreate, ID: "i1", Initial: "R r1 a b"})
+	cold.put(t, InstanceState{ID: "i1", DB: mustDB(t, "R r1 a b"), Version: 0, LastSeq: l.seq.Load()})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	commitT(t, l, Record{Op: OpFaultIn, ID: "i1"})
+	commitT(t, l, Record{Op: OpIngest, ID: "i1", Facts: []Fact{{Rel: "R", Tag: "r2", Values: []string{"b", "c"}}}, Gen: 1})
+	// Second evict: blob now reflects the ingest above.
+	cold.put(t, InstanceState{ID: "i1", DB: mustDB(t, "R r1 a b\nR r2 b c"), Version: 1, LastSeq: l.seq.Load()})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	commitT(t, l, Record{Op: OpFaultIn, ID: "i1"})
+	l.Close()
+
+	l2 := openCold(t, dir, 1, cold)
+	defer l2.Close()
+	i1 := findRecovered(l2, "i1")
+	if i1 == nil {
+		t.Fatal("i1 not recovered")
+	}
+	// The first fault-in loads the *new* blob (1 ingest applied); the
+	// intermediate ingest record must be skipped, not double-applied.
+	if i1.DB.NumTuples() != 2 || i1.Version != 1 {
+		t.Fatalf("i1 = %d tuples, version %d; want 2 tuples, version 1", i1.DB.NumTuples(), i1.Version)
+	}
+}
+
+func TestReplayDroppedIDsForBlobGC(t *testing.T) {
+	dir := t.TempDir()
+	cold := newMemCold()
+	l := openCold(t, dir, 2, cold)
+	commitT(t, l, Record{Op: OpCreate, ID: "i1"})
+	commitT(t, l, Record{Op: OpCreate, ID: "i2"})
+	cold.put(t, InstanceState{ID: "i1", DB: db.NewInstance(), LastSeq: l.seq.Load()})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	// Cold drop: the engine deletes the blob then logs the drop; simulate a
+	// crash between the two (blob still present) to exercise boot GC.
+	commitT(t, l, Record{Op: OpDrop, ID: "i1"})
+	commitT(t, l, Record{Op: OpDrop, ID: "i2"})
+	l.Close()
+
+	l2 := openCold(t, dir, 2, cold)
+	defer l2.Close()
+	if got := l2.DroppedIDs(); len(got) != 2 || got[0] != "i1" || got[1] != "i2" {
+		t.Fatalf("DroppedIDs = %v, want [i1 i2]", got)
+	}
+	if len(l2.Recovered()) != 0 {
+		t.Fatalf("recovered = %v, want none", l2.Recovered())
+	}
+}
+
+// TestReplayColdSeqFloorSurvivesCompact: after a compaction with every
+// instance cold, neither snapshots nor WAL witness the seq high-water
+// mark; the snapshot header must carry it so new seqs stay above the
+// LastSeq frozen in cold blobs.
+func TestReplayColdSeqFloorSurvivesCompact(t *testing.T) {
+	dir := t.TempDir()
+	cold := newMemCold()
+	l := openCold(t, dir, 1, cold)
+	commitT(t, l, Record{Op: OpCreate, ID: "i1", Initial: "R r1 a b"})
+	blobSeq := l.seq.Load()
+	cold.put(t, InstanceState{ID: "i1", DB: mustDB(t, "R r1 a b"), LastSeq: blobSeq})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	// Compact with nothing resident: WALs reset, snapshots empty.
+	if _, err := l.Snapshot(func(int) []InstanceState { return nil }, true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2 := openCold(t, dir, 1, cold)
+	defer l2.Close()
+	if l2.seq.Load() < blobSeq {
+		t.Fatalf("recovered seq %d below cold blob LastSeq %d: future records would be skipped at fault-in", l2.seq.Load(), blobSeq)
+	}
+}
+
+func TestReplayFaultInWithoutColdStoreFailsBoot(t *testing.T) {
+	dir := t.TempDir()
+	cold := newMemCold()
+	l := openCold(t, dir, 1, cold)
+	commitT(t, l, Record{Op: OpCreate, ID: "i1"})
+	cold.put(t, InstanceState{ID: "i1", DB: db.NewInstance(), LastSeq: l.seq.Load()})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	commitT(t, l, Record{Op: OpFaultIn, ID: "i1"})
+	l.Close()
+
+	_, err := Open(Options{Dir: dir, Shards: 1})
+	if err == nil || !strings.Contains(err.Error(), "no cold snapshot store") {
+		t.Fatalf("boot without cold store: err = %v, want configuration error", err)
+	}
+}
+
+func TestReplayFaultInMissingBlobSkipsInstance(t *testing.T) {
+	dir := t.TempDir()
+	cold := newMemCold()
+	l := openCold(t, dir, 1, cold)
+	commitT(t, l, Record{Op: OpCreate, ID: "i1"})
+	cold.put(t, InstanceState{ID: "i1", DB: db.NewInstance(), LastSeq: l.seq.Load()})
+	commitT(t, l, Record{Op: OpEvict, ID: "i1"})
+	commitT(t, l, Record{Op: OpFaultIn, ID: "i1"})
+	commitT(t, l, Record{Op: OpCreate, ID: "i2"})
+	l.Close()
+
+	// The blob vanishes (lost store). Boot must proceed, count the loss,
+	// and keep unaffected instances.
+	cold.mu.Lock()
+	delete(cold.blobs, "i1")
+	cold.mu.Unlock()
+
+	l2 := openCold(t, dir, 1, cold)
+	defer l2.Close()
+	if findRecovered(l2, "i1") != nil {
+		t.Fatal("i1 recovered without its blob")
+	}
+	if findRecovered(l2, "i2") == nil {
+		t.Fatal("i2 lost")
+	}
+	if n := l2.reg.Counter("persist_replay_skipped_total").Value(); n != 1 {
+		t.Errorf("skipped counter = %d, want 1", n)
+	}
+}

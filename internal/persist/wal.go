@@ -24,6 +24,7 @@ package persist
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -52,6 +53,14 @@ const (
 	OpCreate = "create" // new instance (Initial carries seed facts as db text)
 	OpIngest = "ingest" // one applied ingest batch (Facts)
 	OpDrop   = "drop"   // instance removed
+
+	// Tiering ops. OpEvict records that the instance's state up to this
+	// point lives in a cold-store blob and the in-memory copy was released;
+	// OpFaultIn records that the blob was loaded back and subsequent ingest
+	// records apply on top of it. Replay uses them to leave finally-cold
+	// instances out of RAM and to know where a blob re-enters the history.
+	OpEvict   = "evict"
+	OpFaultIn = "faultin"
 )
 
 // Record is one WAL entry. Records are JSON-encoded one per line, each
@@ -110,6 +119,19 @@ type Options struct {
 	// Metrics receives WAL/snapshot counters and gauges; a private
 	// registry is created when nil.
 	Metrics *metrics.Registry
+	// Cold reads per-instance cold-snapshot blobs during replay: an
+	// OpFaultIn record re-enters the blob's state into the history, so a
+	// WAL that contains fault-ins cannot replay without the store that
+	// holds the blobs. tier.SnapshotBackend satisfies this interface. May
+	// be nil when tiering was never enabled.
+	Cold ColdStore
+}
+
+// ColdStore is the read side of a cold-snapshot store, the piece replay
+// needs. A missing blob must yield an error satisfying
+// errors.Is(err, fs.ErrNotExist).
+type ColdStore interface {
+	Get(ctx context.Context, id string) ([]byte, error)
 }
 
 // Log is an open durability layer: per-shard WAL appenders plus the state
@@ -122,6 +144,8 @@ type Log struct {
 	nextID atomic.Uint64 // high-water instance-id counter (recovered + runtime creates)
 
 	recovered []RecoveredInstance
+	dropped   []string // ids whose final replayed op was OpDrop, for blob GC
+	seqFloor  uint64   // snapshot-header seq floor seen during replay
 
 	snapMu    sync.Mutex   // serializes Snapshot/Compact runs
 	failWrite atomic.Value // error; non-nil fails appends (chaos/test hook)
@@ -257,6 +281,11 @@ func (l *Log) TakeRecovered() []RecoveredInstance {
 	l.recovered = nil
 	return r
 }
+
+// DroppedIDs returns the instance ids whose final replayed operation was a
+// drop, sorted ascending. The engine's cold-adoption pass uses them to
+// garbage-collect blobs whose live deletion was lost to a crash.
+func (l *Log) DroppedIDs() []string { return l.dropped }
 
 // InjectWriteError makes every subsequent append fail with err until
 // called with nil — a chaos/test hook simulating a dying disk: commits

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"provmin/internal/engine"
+	"provmin/internal/tier"
+)
+
+// newTieredServer serves an engine with an FS cold backend; the janitor is
+// off so tests control evictions via /admin/evict.
+func newTieredServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	backend, err := tier.NewFSBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 4, CacheSize: 16, Backend: backend, JanitorInterval: -1})
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return ts, eng
+}
+
+func TestAdminEvictAndResidency(t *testing.T) {
+	ts, _ := newTieredServer(t)
+	id := createPaperInstance(t, ts)
+
+	status, body := doJSON(t, "POST", ts.URL+"/admin/evict", map[string]string{"instance": id})
+	if status != http.StatusOK {
+		t.Fatalf("evict: %d %s", status, body)
+	}
+
+	// Residency reports it cold — and must not fault it back in.
+	status, body = doJSON(t, "GET", ts.URL+"/admin/residency", nil)
+	if status != http.StatusOK {
+		t.Fatalf("residency: %d %s", status, body)
+	}
+	var res struct {
+		Enabled  bool   `json:"enabled"`
+		Backend  string `json:"backend"`
+		Resident []struct {
+			ID    string `json:"id"`
+			Bytes int64  `json:"bytes"`
+		} `json:"resident"`
+		Cold      []string `json:"cold"`
+		Evictions int64    `json:"evictions"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("residency body %s: %v", body, err)
+	}
+	if !res.Enabled || res.Backend == "" {
+		t.Fatalf("residency = %s, want enabled with a backend", body)
+	}
+	if len(res.Cold) != 1 || res.Cold[0] != id || len(res.Resident) != 0 {
+		t.Fatalf("residency = %s, want %s cold and nothing resident", body, id)
+	}
+	if res.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", res.Evictions)
+	}
+
+	// The cold instance still lists, marked cold.
+	status, body = doJSON(t, "GET", ts.URL+"/instances", nil)
+	if status != http.StatusOK || !strings.Contains(string(body), `"state":"cold"`) {
+		t.Fatalf("instances after evict: %d %s, want a cold entry", status, body)
+	}
+
+	// A query faults it in transparently; afterwards it is resident again
+	// with a nonzero byte figure.
+	status, body = doJSON(t, "POST", ts.URL+"/query", map[string]string{
+		"instance": id, "query": "ans(x) :- R(x,y), R(y,x)",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("query after evict: %d %s", status, body)
+	}
+	status, body = doJSON(t, "GET", ts.URL+"/admin/residency", nil)
+	if status != http.StatusOK {
+		t.Fatal("residency after fault-in failed")
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Resident) != 1 || res.Resident[0].ID != id || res.Resident[0].Bytes <= 0 {
+		t.Fatalf("residency after fault-in = %s, want %s resident with bytes > 0", body, id)
+	}
+	if len(res.Cold) != 0 {
+		t.Fatalf("still cold after fault-in: %s", body)
+	}
+}
+
+func TestAdminEvictErrors(t *testing.T) {
+	tiered, _ := newTieredServer(t)
+	if status, body := doJSON(t, "POST", tiered.URL+"/admin/evict", map[string]string{"instance": "nope"}); status != http.StatusNotFound {
+		t.Fatalf("evict unknown: %d %s, want 404", status, body)
+	}
+	if status, body := doJSON(t, "POST", tiered.URL+"/admin/evict", map[string]string{}); status != http.StatusBadRequest {
+		t.Fatalf("evict without instance: %d %s, want 400", status, body)
+	}
+
+	plain, _ := newTestServer(t)
+	id := createPaperInstance(t, plain)
+	if status, body := doJSON(t, "POST", plain.URL+"/admin/evict", map[string]string{"instance": id}); status != http.StatusConflict {
+		t.Fatalf("evict untiered: %d %s, want 409", status, body)
+	}
+}
+
+// TestAdminCacheReportsInstanceBytes: the per-instance byte accounting is
+// exposed on /admin/cache whether or not tiering is on.
+func TestAdminCacheReportsInstanceBytes(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := createPaperInstance(t, ts)
+	status, body := doJSON(t, "GET", ts.URL+"/admin/cache", nil)
+	if status != http.StatusOK {
+		t.Fatalf("admin/cache: %d %s", status, body)
+	}
+	var st struct {
+		Instances []struct {
+			ID            string `json:"id"`
+			InstanceBytes int64  `json:"instance_bytes"`
+		} `json:"instances"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Instances) != 1 || st.Instances[0].ID != id || st.Instances[0].InstanceBytes <= 0 {
+		t.Fatalf("admin/cache = %s, want %s with instance_bytes > 0", body, id)
+	}
+}
+
+// TestResidencyMetricsExposed: the tiering gauges/counters appear in
+// /metrics Prometheus output.
+func TestResidencyMetricsExposed(t *testing.T) {
+	ts, _ := newTieredServer(t)
+	id := createPaperInstance(t, ts)
+	if status, body := doJSON(t, "POST", ts.URL+"/admin/evict", map[string]string{"instance": id}); status != http.StatusOK {
+		t.Fatalf("evict: %d %s", status, body)
+	}
+	status, body := doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	for _, want := range []string{
+		"engine_resident_instances 0",
+		"engine_cold_instances 1",
+		"engine_resident_bytes 0",
+		"engine_evictions_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -14,6 +14,9 @@
 //	POST   /deletion                 deletion propagation (apps/deletion)
 //	POST   /admin/snapshot           write durable snapshots (keep WAL)
 //	POST   /admin/compact            snapshot + reset write-ahead logs
+//	POST   /admin/evict              evict an instance to the cold tier
+//	GET    /admin/residency          resident/cold split, bytes, LRU ages
+//	GET    /admin/cache              result-cache occupancy
 //	GET    /metrics                  Prometheus text (or ?format=json)
 //	GET    /healthz                  liveness + instance count
 //
@@ -59,6 +62,8 @@ func New(eng *engine.Engine) *Server {
 	s.route("POST /deletion", "deletion", s.handleDeletion)
 	s.route("POST /admin/snapshot", "snapshot", s.handleSnapshot)
 	s.route("POST /admin/compact", "compact", s.handleCompact)
+	s.route("POST /admin/evict", "evict", s.handleEvict)
+	s.route("GET /admin/residency", "residency", s.handleResidency)
 	s.route("GET /admin/cache", "cache_stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -114,6 +119,10 @@ func writeError(w http.ResponseWriter, err error) {
 		// Engine shut down while the HTTP server drains: availability,
 		// not client fault — tell well-behaved clients to retry.
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrNoTiering):
+		// The operator asked an untiered deployment to evict: a
+		// configuration conflict, like ErrNoPersistence on /admin/snapshot.
+		status = http.StatusConflict
 	case errors.Is(err, engine.ErrUnknownInstance):
 		// Every endpoint that names an instance — /query, /core, /prob,
 		// /trust, /deletion, ingest — must answer 404 for an unknown id,
@@ -516,6 +525,37 @@ func (s *Server) serveSnapshot(w http.ResponseWriter, compact bool) error {
 		"compacted":        stats.Compacted,
 		"duration_seconds": stats.Duration.Seconds(),
 	})
+	return nil
+}
+
+type evictReq struct {
+	Instance string `json:"instance"`
+}
+
+// handleEvict serves POST /admin/evict: snapshot one instance to the cold
+// backend and release its RAM copy. 409 without a snapshot backend, 404
+// for an unknown id; evicting an already-cold instance succeeds idempotently.
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) error {
+	var req evictReq
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if req.Instance == "" {
+		return badRequest("missing instance")
+	}
+	if err := s.eng.EvictInstance(req.Instance); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": req.Instance})
+	return nil
+}
+
+// handleResidency serves GET /admin/residency: the resident/cold split with
+// per-instance bytes and idle ages. Deliberately side-effect free — it
+// never faults anything in, so operators (and the crash tests) can observe
+// coldness without destroying it.
+func (s *Server) handleResidency(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.eng.Residency())
 	return nil
 }
 

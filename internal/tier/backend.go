@@ -1,0 +1,198 @@
+// Package tier is the tiered-storage layer of the provmind service: cold
+// snapshot backends and the residency bookkeeping the engine uses to decide
+// which instances stay in RAM.
+//
+// A SnapshotBackend stores one opaque blob per instance — the byte-exact
+// Envelope v2 snapshot the persist layer already writes — so an idle
+// instance can be evicted from memory and rebuilt on first touch with no
+// new serialization machinery. Two implementations ship: a local
+// filesystem layout (FSBackend) and an S3-style object store
+// (ObjectBackend) speaking HTTP against a MinIO-compatible endpoint, which
+// bounds instance count by storage instead of RAM.
+//
+// The Tracker is a byte-budgeted LRU over resident instances: the engine
+// touches it on every lookup, resizes it on ingest, and asks it for
+// eviction victims when the resident set exceeds its budget or an instance
+// has idled past its cold-after deadline.
+package tier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ErrNotFound is returned (wrapped) by Get for an id with no stored blob.
+// It wraps fs.ErrNotExist so callers that cannot import this package (the
+// persist replay path takes a structural ColdStore) can still detect a
+// miss with errors.Is(err, fs.ErrNotExist).
+var ErrNotFound = fmt.Errorf("tier: snapshot not found: %w", fs.ErrNotExist)
+
+// SnapshotBackend stores per-instance cold snapshot blobs. Implementations
+// must be safe for concurrent use; blobs are opaque to the backend. Put
+// overwrites, Delete of an absent id is not an error (deletes are GC), and
+// List returns instance ids, not storage keys.
+type SnapshotBackend interface {
+	Put(ctx context.Context, id string, data []byte) error
+	Get(ctx context.Context, id string) ([]byte, error)
+	Delete(ctx context.Context, id string) error
+	List(ctx context.Context) ([]string, error)
+	// String describes the backend for startup logs ("fs:/var/…", "s3:…").
+	String() string
+}
+
+// idPat restricts instance ids embedded in storage keys: engine ids are
+// "i<n>", but the backends accept anything path- and key-safe so tests and
+// future id schemes keep working. Rejecting the rest keeps a hostile id
+// from escaping the backend's namespace ("../../etc" is not a key).
+var idPat = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// keyPrefix/keySuffix frame an instance id into a blob name. The prefix
+// keeps instance blobs distinguishable from anything else sharing the
+// directory or bucket; the suffix matches the persist shard snapshots'
+// extension because the content is the same envelope format.
+const (
+	keyPrefix = "inst-"
+	keySuffix = ".snap"
+)
+
+// BlobName returns the storage key for an instance id, or an error for ids
+// that are not key-safe.
+func BlobName(id string) (string, error) {
+	if !idPat.MatchString(id) {
+		return "", fmt.Errorf("tier: instance id %q is not storage-safe", id)
+	}
+	return keyPrefix + id + keySuffix, nil
+}
+
+// idFromBlobName inverts BlobName; ok is false for foreign keys.
+func idFromBlobName(name string) (string, bool) {
+	if !strings.HasPrefix(name, keyPrefix) || !strings.HasSuffix(name, keySuffix) {
+		return "", false
+	}
+	id := name[len(keyPrefix) : len(name)-len(keySuffix)]
+	if id == "" || !idPat.MatchString(id) {
+		return "", false
+	}
+	return id, true
+}
+
+// FSBackend stores blobs as files in one directory — the default cold tier
+// when provmind runs with a data directory. Writes are atomic
+// (tmp+rename+fsync) so a crash mid-evict leaves either the old blob or
+// the new one, never a torn file; the engine's recovery GC cleans up
+// whichever half-state remains.
+type FSBackend struct {
+	dir string
+}
+
+// NewFSBackend creates the directory if needed and returns the backend.
+func NewFSBackend(dir string) (*FSBackend, error) {
+	if dir == "" {
+		return nil, errors.New("tier: empty cold-snapshot directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tier: create cold dir: %w", err)
+	}
+	return &FSBackend{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (b *FSBackend) Dir() string { return b.dir }
+
+// String implements SnapshotBackend.
+func (b *FSBackend) String() string { return "fs:" + b.dir }
+
+// Put implements SnapshotBackend with an atomic write.
+func (b *FSBackend) Put(_ context.Context, id string, data []byte) error {
+	name, err := BlobName(id)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(b.dir, name)
+	if err := writeFileAtomic(path, data); err != nil {
+		return fmt.Errorf("tier: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Get implements SnapshotBackend; a missing blob is ErrNotFound.
+func (b *FSBackend) Get(_ context.Context, id string) ([]byte, error) {
+	name, err := BlobName(id)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(b.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return raw, err
+}
+
+// Delete implements SnapshotBackend; deleting an absent blob succeeds.
+func (b *FSBackend) Delete(_ context.Context, id string) error {
+	name, err := BlobName(id)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(filepath.Join(b.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements SnapshotBackend, returning ids sorted ascending.
+func (b *FSBackend) List(_ context.Context) ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tier: list %s: %w", b.dir, err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := idFromBlobName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// writeFileAtomic mirrors the persist layer's crash-safe file write:
+// tmp+rename, with file and directory fsyncs.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,138 @@
+package tier
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FakeObjectStore is an in-memory S3-compatible HTTP handler implementing
+// just enough of the protocol for ObjectBackend: path-style object
+// PUT/GET/DELETE and ListObjectsV2 with prefix and continuation-token
+// pagination. It backs the object-store tests and the e2e harness without
+// needing a real MinIO, and lives outside _test files so cmd tests can run
+// it too. It does not verify signatures — signing correctness is covered
+// separately — but it does reject requests missing x-amz-content-sha256,
+// which catches backends that forget to set it.
+type FakeObjectStore struct {
+	mu      sync.Mutex
+	objects map[string]map[string][]byte // bucket → key → blob
+	// PageSize caps keys per list page (0 = the S3 default of 1000); tests
+	// lower it to force pagination.
+	PageSize int
+}
+
+// NewFakeObjectStore returns a fake with the given buckets pre-created.
+func NewFakeObjectStore(buckets ...string) *FakeObjectStore {
+	s := &FakeObjectStore{objects: map[string]map[string][]byte{}}
+	for _, b := range buckets {
+		s.objects[b] = map[string][]byte{}
+	}
+	return s
+}
+
+// Len reports the number of objects in a bucket.
+func (s *FakeObjectStore) Len(bucket string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects[bucket])
+}
+
+// ServeHTTP implements http.Handler.
+func (s *FakeObjectStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("x-amz-content-sha256") == "" {
+		http.Error(w, "missing x-amz-content-sha256", http.StatusBadRequest)
+		return
+	}
+	bucket, key := splitPath(r.URL.Path)
+	if bucket == "" {
+		http.Error(w, "no bucket in path", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	objs, ok := s.objects[bucket]
+	if !ok {
+		http.Error(w, "NoSuchBucket", http.StatusNotFound)
+		return
+	}
+	switch {
+	case key == "" && r.Method == http.MethodGet:
+		s.list(w, r, objs)
+	case r.Method == http.MethodPut:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		objs[key] = data
+		w.WriteHeader(http.StatusOK)
+	case r.Method == http.MethodGet:
+		data, ok := objs[key]
+		if !ok {
+			http.Error(w, "NoSuchKey", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Write(data) //nolint:errcheck
+	case r.Method == http.MethodDelete:
+		delete(objs, key)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not supported", http.StatusMethodNotAllowed)
+	}
+}
+
+// list renders a ListObjectsV2 page. Keys sort lexicographically, matching
+// S3; the continuation token is simply the last key of the previous page.
+func (s *FakeObjectStore) list(w http.ResponseWriter, r *http.Request, objs map[string][]byte) {
+	if r.URL.Query().Get("list-type") != "2" {
+		http.Error(w, "only list-type=2 supported", http.StatusBadRequest)
+		return
+	}
+	prefix := r.URL.Query().Get("prefix")
+	after := r.URL.Query().Get("continuation-token")
+	pageSize := s.PageSize
+	if pageSize <= 0 {
+		pageSize = 1000
+	}
+	var keys []string
+	for k := range objs {
+		if strings.HasPrefix(k, prefix) && k > after {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	truncated := len(keys) > pageSize
+	if truncated {
+		keys = keys[:pageSize]
+	}
+	page := listResult{IsTruncated: truncated}
+	if truncated {
+		page.NextContinuationToken = keys[len(keys)-1]
+	}
+	for _, k := range keys {
+		page.Contents = append(page.Contents, struct {
+			Key string `xml:"Key"`
+		}{Key: k})
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	fmt.Fprint(w, xml.Header)
+	if err := xml.NewEncoder(w).Encode(page); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// splitPath splits "/bucket/key/with/slashes" into its two halves.
+func splitPath(p string) (bucket, key string) {
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i+1:]
+	}
+	return p, ""
+}

@@ -1,0 +1,355 @@
+package tier
+
+import (
+	"bytes"
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ObjectConfig configures an S3-style object-store backend. Endpoint is a
+// full base URL ("http://127.0.0.1:9000"); requests are path-style
+// (endpoint/bucket/key), the addressing MinIO serves out of the box. Empty
+// AccessKey leaves requests unsigned, for stores with anonymous access.
+type ObjectConfig struct {
+	Endpoint  string
+	Bucket    string
+	Prefix    string // key prefix inside the bucket, e.g. "provmind/cold"
+	Region    string // SigV4 region; default "us-east-1"
+	AccessKey string
+	SecretKey string
+	Client    *http.Client // default http.DefaultClient
+	// now overrides the signing clock; tests only.
+	now func() time.Time
+}
+
+// ObjectBackend implements SnapshotBackend over HTTP against an
+// S3-compatible object store (MinIO, or S3 itself). It uses only the four
+// operations the tier needs — PUT/GET/DELETE object and ListObjectsV2 —
+// signed with AWS Signature v4, so no SDK dependency is required.
+type ObjectBackend struct {
+	cfg  ObjectConfig
+	base *url.URL
+}
+
+// NewObjectBackend validates the configuration and returns the backend. It
+// performs no network I/O; a bad endpoint surfaces on first use (and at
+// startup via AdoptCold's List).
+func NewObjectBackend(cfg ObjectConfig) (*ObjectBackend, error) {
+	if cfg.Endpoint == "" {
+		return nil, errors.New("tier: object backend needs an endpoint URL")
+	}
+	if cfg.Bucket == "" {
+		return nil, errors.New("tier: object backend needs a bucket")
+	}
+	u, err := url.Parse(cfg.Endpoint)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("tier: invalid object endpoint %q", cfg.Endpoint)
+	}
+	if cfg.Region == "" {
+		cfg.Region = "us-east-1"
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	cfg.Prefix = strings.Trim(cfg.Prefix, "/")
+	return &ObjectBackend{cfg: cfg, base: u}, nil
+}
+
+// String implements SnapshotBackend.
+func (b *ObjectBackend) String() string {
+	s := "s3:" + b.cfg.Endpoint + "/" + b.cfg.Bucket
+	if b.cfg.Prefix != "" {
+		s += "/" + b.cfg.Prefix
+	}
+	return s
+}
+
+// key maps an instance id to its object key within the bucket.
+func (b *ObjectBackend) key(id string) (string, error) {
+	name, err := BlobName(id)
+	if err != nil {
+		return "", err
+	}
+	if b.cfg.Prefix != "" {
+		return b.cfg.Prefix + "/" + name, nil
+	}
+	return name, nil
+}
+
+// objectURL builds the path-style URL for a key ("" addresses the bucket
+// itself, for listing).
+func (b *ObjectBackend) objectURL(key string, query url.Values) *url.URL {
+	u := *b.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/" + b.cfg.Bucket
+	if key != "" {
+		u.Path += "/" + key
+	}
+	u.RawQuery = query.Encode()
+	return &u
+}
+
+// Put implements SnapshotBackend.
+func (b *ObjectBackend) Put(ctx context.Context, id string, data []byte) error {
+	key, err := b.key(id)
+	if err != nil {
+		return err
+	}
+	resp, err := b.do(ctx, http.MethodPut, b.objectURL(key, nil), data)
+	if err != nil {
+		return fmt.Errorf("tier: put %s: %w", key, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tier: put %s: %s", key, respError(resp))
+	}
+	return nil
+}
+
+// Get implements SnapshotBackend; a 404 is ErrNotFound.
+func (b *ObjectBackend) Get(ctx context.Context, id string) ([]byte, error) {
+	key, err := b.key(id)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.do(ctx, http.MethodGet, b.objectURL(key, nil), nil)
+	if err != nil {
+		return nil, fmt.Errorf("tier: get %s: %w", key, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(resp.Body)
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	default:
+		return nil, fmt.Errorf("tier: get %s: %s", key, respError(resp))
+	}
+}
+
+// Delete implements SnapshotBackend; deleting an absent key succeeds (S3
+// returns 204 either way, but tolerate 404 from laxer fakes).
+func (b *ObjectBackend) Delete(ctx context.Context, id string) error {
+	key, err := b.key(id)
+	if err != nil {
+		return err
+	}
+	resp, err := b.do(ctx, http.MethodDelete, b.objectURL(key, nil), nil)
+	if err != nil {
+		return fmt.Errorf("tier: delete %s: %w", key, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNoContent, http.StatusNotFound:
+		return nil
+	default:
+		return fmt.Errorf("tier: delete %s: %s", key, respError(resp))
+	}
+}
+
+// listResult is the subset of the ListObjectsV2 response the backend reads.
+type listResult struct {
+	XMLName               xml.Name `xml:"ListBucketResult"`
+	IsTruncated           bool     `xml:"IsTruncated"`
+	NextContinuationToken string   `xml:"NextContinuationToken"`
+	Contents              []struct {
+		Key string `xml:"Key"`
+	} `xml:"Contents"`
+}
+
+// List implements SnapshotBackend via ListObjectsV2, following
+// continuation tokens so buckets beyond one page (1000 keys) list fully.
+func (b *ObjectBackend) List(ctx context.Context) ([]string, error) {
+	prefix := keyPrefix
+	if b.cfg.Prefix != "" {
+		prefix = b.cfg.Prefix + "/" + keyPrefix
+	}
+	var ids []string
+	token := ""
+	for {
+		q := url.Values{}
+		q.Set("list-type", "2")
+		q.Set("prefix", prefix)
+		if token != "" {
+			q.Set("continuation-token", token)
+		}
+		resp, err := b.do(ctx, http.MethodGet, b.objectURL("", q), nil)
+		if err != nil {
+			return nil, fmt.Errorf("tier: list bucket %s: %w", b.cfg.Bucket, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := fmt.Errorf("tier: list bucket %s: %s", b.cfg.Bucket, respError(resp))
+			drain(resp)
+			return nil, err
+		}
+		var page listResult
+		err = xml.NewDecoder(resp.Body).Decode(&page)
+		drain(resp)
+		if err != nil {
+			return nil, fmt.Errorf("tier: list bucket %s: bad XML: %w", b.cfg.Bucket, err)
+		}
+		for _, obj := range page.Contents {
+			name := obj.Key
+			if b.cfg.Prefix != "" {
+				name = strings.TrimPrefix(name, b.cfg.Prefix+"/")
+			}
+			if id, ok := idFromBlobName(name); ok {
+				ids = append(ids, id)
+			}
+		}
+		if !page.IsTruncated || page.NextContinuationToken == "" {
+			break
+		}
+		token = page.NextContinuationToken
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// do issues one signed request.
+func (b *ObjectBackend) do(ctx context.Context, method string, u *url.URL, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.ContentLength = int64(len(body))
+	b.sign(req, body)
+	return b.cfg.Client.Do(req)
+}
+
+// drain discards and closes a response body so the connection is reusable.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+}
+
+// respError summarizes a non-2xx response for error messages.
+func respError(resp *http.Response) string {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(raw))
+	if msg == "" {
+		return resp.Status
+	}
+	return resp.Status + ": " + msg
+}
+
+// sign adds AWS Signature Version 4 authentication headers. With no access
+// key configured the request goes out anonymous (x-amz-content-sha256 is
+// still set; MinIO requires it even unsigned in some configurations).
+func (b *ObjectBackend) sign(req *http.Request, body []byte) {
+	payloadHash := sha256.Sum256(body)
+	payloadHex := hex.EncodeToString(payloadHash[:])
+	req.Header.Set("x-amz-content-sha256", payloadHex)
+	if b.cfg.AccessKey == "" {
+		return
+	}
+	now := b.cfg.now().UTC()
+	amzDate := now.Format("20060102T150405Z")
+	dateStamp := now.Format("20060102")
+	req.Header.Set("x-amz-date", amzDate)
+
+	// Canonical request. Only the headers we actually send are signed:
+	// host, x-amz-content-sha256, x-amz-date.
+	signedHeaders := "host;x-amz-content-sha256;x-amz-date"
+	canonicalHeaders := "host:" + req.URL.Host + "\n" +
+		"x-amz-content-sha256:" + payloadHex + "\n" +
+		"x-amz-date:" + amzDate + "\n"
+	canonicalRequest := strings.Join([]string{
+		req.Method,
+		canonicalURI(req.URL),
+		canonicalQuery(req.URL),
+		canonicalHeaders,
+		signedHeaders,
+		payloadHex,
+	}, "\n")
+
+	scope := dateStamp + "/" + b.cfg.Region + "/s3/aws4_request"
+	crHash := sha256.Sum256([]byte(canonicalRequest))
+	stringToSign := strings.Join([]string{
+		"AWS4-HMAC-SHA256",
+		amzDate,
+		scope,
+		hex.EncodeToString(crHash[:]),
+	}, "\n")
+
+	kDate := hmacSHA256([]byte("AWS4"+b.cfg.SecretKey), dateStamp)
+	kRegion := hmacSHA256(kDate, b.cfg.Region)
+	kService := hmacSHA256(kRegion, "s3")
+	kSigning := hmacSHA256(kService, "aws4_request")
+	signature := hex.EncodeToString(hmacSHA256(kSigning, stringToSign))
+
+	req.Header.Set("Authorization", "AWS4-HMAC-SHA256 Credential="+
+		b.cfg.AccessKey+"/"+scope+
+		", SignedHeaders="+signedHeaders+
+		", Signature="+signature)
+}
+
+func hmacSHA256(key []byte, msg string) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write([]byte(msg))
+	return m.Sum(nil)
+}
+
+// canonicalURI percent-encodes the path per SigV4 (each segment
+// URI-encoded, "/" preserved). Our keys only contain unreserved characters
+// plus "/", so escaping is a near no-op but kept for correctness.
+func canonicalURI(u *url.URL) string {
+	if u.Path == "" {
+		return "/"
+	}
+	segs := strings.Split(u.Path, "/")
+	for i, s := range segs {
+		segs[i] = awsEscape(s)
+	}
+	return strings.Join(segs, "/")
+}
+
+// canonicalQuery sorts parameters by key and encodes per SigV4.
+func canonicalQuery(u *url.URL) string {
+	q := u.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		vs := q[k]
+		sort.Strings(vs)
+		for _, v := range vs {
+			parts = append(parts, awsEscape(k)+"="+awsEscape(v))
+		}
+	}
+	return strings.Join(parts, "&")
+}
+
+// awsEscape implements the SigV4 variant of URI encoding: unreserved
+// characters (A–Z a–z 0–9 - . _ ~) pass through, everything else becomes
+// %XX with uppercase hex — notably space is %20, never "+".
+func awsEscape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_', c == '~':
+			sb.WriteByte(c)
+		default:
+			fmt.Fprintf(&sb, "%%%02X", c)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package tier
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Tracker is the byte-budgeted LRU over resident instances. The engine
+// Adds an instance when it becomes resident, Touches it on every access,
+// SetBytes it after each ingest batch, and Removes it on evict or drop.
+// VictimsOver answers "which instances should go cold now" — least
+// recently used first — under two pressures: total resident bytes above
+// the budget, and per-instance idle time beyond a cold-after deadline.
+//
+// The Tracker only *selects* victims; the engine owns the actual eviction
+// (fence, snapshot, registry transition), so a selected victim that turns
+// out to be busy is simply not removed and stays tracked.
+type Tracker struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+}
+
+type trackerItem struct {
+	id       string
+	bytes    int64
+	lastUsed time.Time
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Add registers an instance as resident with its current size, marking it
+// most recently used. Adding an existing id updates it in place.
+func (t *Tracker) Add(id string, bytes int64, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[id]; ok {
+		it := el.Value.(*trackerItem)
+		t.bytes += bytes - it.bytes
+		it.bytes = bytes
+		it.lastUsed = now
+		t.ll.MoveToFront(el)
+		return
+	}
+	t.items[id] = t.ll.PushFront(&trackerItem{id: id, bytes: bytes, lastUsed: now})
+	t.bytes += bytes
+}
+
+// Touch marks an instance most recently used. Unknown ids are ignored
+// (the instance may be mid-eviction; the caller's flight lock sorts it out).
+func (t *Tracker) Touch(id string, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[id]; ok {
+		el.Value.(*trackerItem).lastUsed = now
+		t.ll.MoveToFront(el)
+	}
+}
+
+// SetBytes updates an instance's size without changing its recency.
+func (t *Tracker) SetBytes(id string, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[id]; ok {
+		it := el.Value.(*trackerItem)
+		t.bytes += bytes - it.bytes
+		it.bytes = bytes
+	}
+}
+
+// Remove forgets an instance (evicted or dropped).
+func (t *Tracker) Remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[id]; ok {
+		t.bytes -= el.Value.(*trackerItem).bytes
+		t.ll.Remove(el)
+		delete(t.items, id)
+	}
+}
+
+// Bytes reports total tracked resident bytes.
+func (t *Tracker) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// Len reports the number of tracked instances.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.items)
+}
+
+// IdleSince reports an instance's last-used time; ok is false if untracked.
+func (t *Tracker) IdleSince(id string) (time.Time, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[id]; ok {
+		return el.Value.(*trackerItem).lastUsed, true
+	}
+	return time.Time{}, false
+}
+
+// VictimsOver selects eviction victims, least recently used first:
+// instances idle since before deadline (skipped when deadline is zero),
+// plus — regardless of idleness — enough further instances to bring
+// tracked bytes within budget (skipped when budget <= 0). Budget pressure
+// always leaves at least one instance resident — evicting the sole
+// instance a workload is actively using would just thrash — but the idle
+// deadline applies to the last one too: an instance nobody has touched
+// since the deadline has no user to thrash.
+func (t *Tracker) VictimsOver(budget int64, deadline time.Time) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var victims []string
+	remaining := t.bytes
+	left := len(t.items)
+	for el := t.ll.Back(); el != nil; el = el.Prev() {
+		it := el.Value.(*trackerItem)
+		overBudget := budget > 0 && remaining > budget && left > 1
+		idle := !deadline.IsZero() && it.lastUsed.Before(deadline)
+		if !overBudget && !idle {
+			// Recency order makes stopping safe: fresher entries have
+			// later lastUsed (so none is idle) and remaining only shrinks
+			// as victims accrue (so the budget stays satisfied).
+			break
+		}
+		victims = append(victims, it.id)
+		remaining -= it.bytes
+		left--
+	}
+	return victims
+}
+
+// Entry is a point-in-time view of one tracked instance, for /admin/residency.
+type Entry struct {
+	ID       string
+	Bytes    int64
+	LastUsed time.Time
+}
+
+// Snapshot returns all tracked entries, most recently used first.
+func (t *Tracker) Snapshot() []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry, 0, len(t.items))
+	for el := t.ll.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*trackerItem)
+		out = append(out, Entry{ID: it.id, Bytes: it.bytes, LastUsed: it.lastUsed})
+	}
+	return out
+}
