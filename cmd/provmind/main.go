@@ -13,8 +13,11 @@
 //	         [-data-dir DIR] [-wal-sync always|interval|none]
 //	         [-wal-sync-interval 100ms]
 //	         [-resident-budget-bytes N] [-cold-after 0]
-//	         [-snapshot-backend fs|s3] [-s3-endpoint URL] [-s3-bucket B]
+//	         [-snapshot-backend fs|s3] [-cold-dir DIR]
+//	         [-s3-endpoint URL] [-s3-bucket B]
 //	         [-s3-prefix P] [-s3-region R] [-s3-access-key K] [-s3-secret-key S]
+//	         [-node-name NAME -peers a=URL,b=URL,...] [-vnodes 64]
+//	         [-probe-interval 2s]
 //
 // Tiered storage: with a snapshot backend configured, idle instances are
 // snapshotted into per-instance blobs, evicted from RAM when the resident
@@ -22,6 +25,14 @@
 // back in transparently on next touch. -snapshot-backend fs stores blobs
 // under <data-dir>/cold; s3 speaks the S3 REST dialect (MinIO-compatible,
 // SigV4) against -s3-endpoint.
+//
+// Clustering: with -node-name and -peers this node joins a static cluster.
+// Each member gets a consistent-hash slice of the instance id space; the
+// provrouter binary fronts the cluster and proxies every request to the
+// owning node. Clustered nodes share one cold tier (-cold-dir pointing at
+// shared storage, or one s3 bucket): instance handoff between nodes moves
+// a single blob, never rows. Clustered nodes additionally serve
+// GET /gen/{id}, GET /topology, POST /admin/adopt and POST /admin/release.
 //
 // Endpoints (see internal/server): /instances, /query, /core, /prob,
 // /trust, /deletion, /admin/snapshot, /admin/compact, /admin/evict,
@@ -51,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"provmin/internal/cluster"
 	"provmin/internal/engine"
 	"provmin/internal/metrics"
 	"provmin/internal/persist"
@@ -80,6 +92,11 @@ func main() {
 		s3Region      = flag.String("s3-region", "", "signing region for -snapshot-backend s3")
 		s3AccessKey   = flag.String("s3-access-key", "", "access key for -snapshot-backend s3 (empty = anonymous)")
 		s3SecretKey   = flag.String("s3-secret-key", "", "secret key for -snapshot-backend s3")
+		coldDir       = flag.String("cold-dir", "", "blob directory for -snapshot-backend fs (default <data-dir>/cold; clustered nodes point this at shared storage)")
+		nodeName      = flag.String("node-name", "", "this node's name in -peers (enables clustering)")
+		peers         = flag.String("peers", "", "cluster members as name=url,... (requires -node-name)")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "peer health probing period (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -90,22 +107,50 @@ func main() {
 
 	reg := metrics.NewRegistry()
 
+	// Cluster membership resolves first: the ring decides which cold blobs
+	// this node adopts at boot and which instance misses it may heal.
+	var topo *cluster.Topology
+	if *peers != "" || *nodeName != "" {
+		if *peers == "" || *nodeName == "" {
+			log.Fatalf("provmind: clustering needs both -node-name and -peers")
+		}
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Fatalf("provmind: %v", err)
+		}
+		topo, err = cluster.NewTopology(cluster.TopologyConfig{
+			Peers:         nodes,
+			Self:          *nodeName,
+			VNodes:        *vnodes,
+			ProbeInterval: *probeInterval,
+			Metrics:       reg,
+		})
+		if err != nil {
+			log.Fatalf("provmind: %v", err)
+		}
+		defer topo.Close()
+	}
+
 	// Resolve the cold-tier backend before the WAL opens: replay needs it to
 	// read fault-in records. Tiering flags without an explicit backend
-	// default to fs (which needs -data-dir for a home).
+	// default to fs (which needs -data-dir or -cold-dir for a home).
 	backendName := *snapBackend
-	if backendName == "" && (*residentBytes > 0 || *coldAfter > 0) {
+	if backendName == "" && (*residentBytes > 0 || *coldAfter > 0 || *coldDir != "") {
 		backendName = "fs"
 	}
 	var backend tier.SnapshotBackend
 	switch backendName {
 	case "":
 	case "fs":
-		if *dataDir == "" {
-			log.Fatalf("provmind: -snapshot-backend fs needs -data-dir for the blob directory")
+		blobDir := *coldDir
+		if blobDir == "" {
+			if *dataDir == "" {
+				log.Fatalf("provmind: -snapshot-backend fs needs -data-dir or -cold-dir for the blob directory")
+			}
+			blobDir = filepath.Join(*dataDir, "cold")
 		}
 		var err error
-		backend, err = tier.NewFSBackend(filepath.Join(*dataDir, "cold"))
+		backend, err = tier.NewFSBackend(blobDir)
 		if err != nil {
 			log.Fatalf("provmind: open cold blob dir: %v", err)
 		}
@@ -160,7 +205,7 @@ func main() {
 	if resBytes == 0 {
 		resBytes = -1
 	}
-	eng := engine.New(engine.Config{
+	cfg := engine.Config{
 		Workers:             *workers,
 		CacheSize:           *cacheSize,
 		ResultCacheSize:     resSize,
@@ -173,12 +218,35 @@ func main() {
 		Backend:             backend,
 		ResidentBudgetBytes: *residentBytes,
 		ColdAfter:           *coldAfter,
-	})
+	}
+	// Clustered lookup misses heal from the shared cold tier: the ring
+	// owner adopts the blob outright (it may have been released by a
+	// departing peer); the replica borrows a read-only copy so it can serve
+	// failover reads without stealing ownership.
+	if topo != nil && backend != nil {
+		cfg.AdoptOnMiss = func(id string) engine.AdoptMode {
+			switch {
+			case topo.OwnsLocally(id):
+				return engine.AdoptOwned
+			case topo.ReplicaLocally(id):
+				return engine.AdoptBorrowed
+			default:
+				return engine.AdoptNone
+			}
+		}
+	}
+	eng := engine.New(cfg)
 	defer eng.Close()
 	if backend != nil {
 		// Register cold blobs (without loading them) and GC blobs of
-		// dropped instances whose live deletion was lost to a crash.
-		if err := eng.AdoptCold(context.Background()); err != nil {
+		// dropped instances whose live deletion was lost to a crash. In a
+		// cluster the cold tier is shared, so only blobs this node owns per
+		// the ring are adopted (or GC'd) — the rest belong to peers.
+		var owns func(string) bool
+		if topo != nil {
+			owns = topo.OwnsLocally
+		}
+		if err := eng.AdoptCold(context.Background(), owns); err != nil {
 			log.Printf("provmind: adopt cold blobs: %v", err)
 			eng.Close()
 			os.Exit(1)
@@ -198,13 +266,21 @@ func main() {
 		eng.Close()
 		os.Exit(1)
 	}
+	handler := server.New(eng)
+	if topo != nil {
+		handler = server.NewClustered(eng, topo)
+	}
 	srv := &http.Server{
-		Handler:           server.New(eng),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if topo != nil {
+		log.Printf("provmind: cluster node %s of %v (ring v%d)",
+			topo.Self(), topo.Ring().Nodes(), topo.Ring().Version())
+	}
 	log.Printf("provmind listening on %s (workers=%d cache=%d batch=%d/%s shards=%d durable=%t)",
 		ln.Addr(), *workers, *cacheSize, *batch, *batchWait, *shards, logStore != nil)
 

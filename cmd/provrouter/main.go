@@ -1,0 +1,122 @@
+// Command provrouter is the provmind cluster's routing tier: a stateless
+// HTTP front that exposes the single-node provmind API over a static set
+// of nodes.
+//
+// Usage:
+//
+//	provrouter -peers a=http://host1:8411,b=http://host2:8411[,...]
+//	           [-addr :8410] [-vnodes 64] [-probe-interval 2s]
+//	           [-cache-entries 4096] [-cache-bytes 67108864]
+//	           [-dial-timeout 1s] [-proxy-timeout 30s]
+//
+// Every request naming an instance is proxied to the node owning it on
+// the consistent-hash ring (the same FNV family that stripes each node's
+// registry); reads retry once against the ring replica when the owner is
+// unreachable, and read responses are cached keyed by (instance,
+// canonical request, generation) — a hit is served only while the owning
+// node's current generation matches the entry's stamp, so the cache can
+// go stale but never wrong. POST /admin/rebalance moves every misplaced
+// instance to its ring owner by cold-blob handoff (the nodes must share
+// one cold tier: a common -cold-dir or one S3 bucket).
+//
+// The router is stateless: restarting it only drops its cache. Run more
+// than one for availability — identical -peers lists produce identical
+// rings, so routers agree on placement without coordinating.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"provmin/internal/cluster"
+	"provmin/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		addr          = flag.String("addr", ":8410", "listen address")
+		peers         = flag.String("peers", "", "cluster members as name=url,... (required)")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default; must match the nodes)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "node health probing period (0 disables)")
+		cacheEntries  = flag.Int("cache-entries", 4096, "max cached read responses")
+		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "max cached read-response bytes")
+		dialTimeout   = flag.Duration("dial-timeout", time.Second, "TCP connect timeout to nodes (drives read failover)")
+		proxyTimeout  = flag.Duration("proxy-timeout", 30*time.Second, "per-attempt upstream request timeout")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "provrouter: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *peers == "" {
+		fmt.Fprintln(os.Stderr, "provrouter: -peers is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	nodes, err := cluster.ParsePeers(*peers)
+	if err != nil {
+		log.Fatalf("provrouter: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	topo, err := cluster.NewTopology(cluster.TopologyConfig{
+		Peers:         nodes,
+		VNodes:        *vnodes,
+		ProbeInterval: *probeInterval,
+		Metrics:       reg,
+	})
+	if err != nil {
+		log.Fatalf("provrouter: %v", err)
+	}
+	defer topo.Close()
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Topology:     topo,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+		DialTimeout:  *dialTimeout,
+		ProxyTimeout: *proxyTimeout,
+		Metrics:      reg,
+	})
+	if err != nil {
+		log.Fatalf("provrouter: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("provrouter: listen: %v", err)
+	}
+	srv := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("provrouter listening on %s over %v (ring v%d, cache %d entries / %d bytes)",
+		ln.Addr(), topo.Ring().Nodes(), topo.Ring().Version(), *cacheEntries, *cacheBytes)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("provrouter: %v", err)
+	case sig := <-sigc:
+		log.Printf("provrouter: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("provrouter: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"provmin/internal/metrics"
+)
+
+// cacheEntry is one cached upstream response. The generation stamp makes
+// the entry self-validating: it may be served only while the owning node's
+// current generation for the instance equals Gen, which the router checks
+// with a cheap GET /gen/{id} before every hit. A stale stamp can only
+// cause a miss, never a wrong answer.
+type cacheEntry struct {
+	key    string
+	id     string // instance id, for invalidation on writes
+	gen    uint64
+	status int
+	body   []byte
+	ctype  string
+}
+
+func (e *cacheEntry) cost() int64 { return int64(len(e.key) + len(e.body) + 64) }
+
+// routerCache is the router-side result cache: an LRU bounded by entry
+// count and total bytes, keyed by (instance, endpoint, canonical request
+// body). It mirrors the engine's per-instance result cache one tier out —
+// same generation-stamp discipline, but validated over the network instead
+// of under the registry lock.
+type routerCache struct {
+	mu         sync.Mutex
+	entries    map[string]*list.Element
+	byID       map[string]map[string]*list.Element // instance id -> keys
+	lru        *list.List
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+
+	hits, misses, stale, evictions *metrics.Counter
+	sizeGauge, bytesGauge          *metrics.Gauge
+}
+
+func newRouterCache(maxEntries int, maxBytes int64, reg *metrics.Registry) *routerCache {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &routerCache{
+		entries:    map[string]*list.Element{},
+		byID:       map[string]map[string]*list.Element{},
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		hits:       reg.Counter("router_cache_hits_total"),
+		misses:     reg.Counter("router_cache_misses_total"),
+		stale:      reg.Counter("router_cache_stale_total"),
+		evictions:  reg.Counter("router_cache_evictions_total"),
+		sizeGauge:  reg.Gauge("router_cache_entries"),
+		bytesGauge: reg.Gauge("router_cache_bytes"),
+	}
+}
+
+func cacheKey(id, op, canonicalBody string) string {
+	return id + "\x00" + op + "\x00" + canonicalBody
+}
+
+// contains reports whether a key is present without touching LRU order or
+// hit/miss counters — the router peeks before spending a generation round
+// trip on validating a hit that can't exist.
+func (c *routerCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// get returns the entry for key iff its generation stamp equals gen, the
+// owning node's current generation as just observed by the caller. An
+// entry stamped with any other generation is removed: the instance moved
+// on, and under LRU pressure there is no value in keeping provably dead
+// bytes around.
+func (c *routerCache) get(key string, gen uint64) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.stale.Inc()
+		c.misses.Inc()
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return e, true
+}
+
+// put stores a response stamped with the generation the owner reported for
+// it. Replaces any previous entry under the same key.
+func (c *routerCache) put(e *cacheEntry) {
+	if c.maxEntries <= 0 || e.cost() > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		c.removeLocked(el)
+	}
+	el := c.lru.PushFront(e)
+	c.entries[e.key] = el
+	keys := c.byID[e.id]
+	if keys == nil {
+		keys = map[string]*list.Element{}
+		c.byID[e.id] = keys
+	}
+	keys[e.key] = el
+	c.bytes += e.cost()
+	for c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.evictions.Inc()
+	}
+	c.updateGauges()
+}
+
+// invalidate drops every cached entry for an instance. Called on write
+// endpoints (ingest, drop) and on rebalance so the next read revalidates
+// against the new owner instead of waiting for a generation mismatch.
+func (c *routerCache) invalidate(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.byID[id] {
+		c.removeLocked(el)
+	}
+	c.updateGauges()
+}
+
+func (c *routerCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	if keys := c.byID[e.id]; keys != nil {
+		delete(keys, e.key)
+		if len(keys) == 0 {
+			delete(c.byID, e.id)
+		}
+	}
+	c.bytes -= e.cost()
+	c.updateGauges()
+}
+
+func (c *routerCache) updateGauges() {
+	c.sizeGauge.Set(int64(c.lru.Len()))
+	c.bytesGauge.Set(c.bytes)
+}

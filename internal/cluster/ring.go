@@ -1,0 +1,155 @@
+// Package cluster turns provmind into a horizontally scalable service: a
+// consistent-hash ring places every instance on an owner node (plus one
+// replica for read failover), a static peer topology with health probing
+// makes placement explicit and observable, and a routing tier (Router)
+// proxies the single-node HTTP API to the owning node while serving its
+// own result cache keyed by (instance, canonical request, generation).
+//
+// The design follows ROADMAP item 2: the registry is already lock-striped
+// by FNV(instance id) within one process, so the cluster layer lifts the
+// same hash family into a ring across processes. Membership is static
+// (-peers on every node and on the router); rebalancing is an explicit
+// admin command that moves instances by cold-snapshot blob handoff, and
+// the per-instance generation counter doubles as the cross-node
+// cache-coherence token — a router cache hit is served iff the serving
+// node's current generation matches the entry's stamp.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 64 points per
+// node keeps the max/min ownership skew under ~30% for small clusters
+// while the ring stays a few KB.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint32
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over named nodes. Instance ids
+// hash with FNV-1a — the same family persist.ShardFor stripes the registry
+// and WAL with — and walk the circle clockwise to their owner. Build once
+// from the static membership; rebuilding with the same inputs yields the
+// same placement on every process, which is what makes client-side and
+// router-side routing agree without coordination.
+type Ring struct {
+	points  []ringPoint
+	nodes   []string // sorted distinct node names
+	vnodes  int
+	version uint64
+}
+
+// BuildRing constructs the ring for the given node names. Names are
+// deduplicated and sorted, so peer-list order never changes placement;
+// vnodes <= 0 selects DefaultVNodes.
+func BuildRing(names []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	var nodes []string
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash32(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (rare but possible on 32 bits) break by name so the
+		// ring is deterministic across processes.
+		return r.points[i].node < r.points[j].node
+	})
+	r.version = r.membershipHash()
+	return r, nil
+}
+
+// hash32 is FNV-1a — the registry/WAL stripe hash lifted onto the ring —
+// finished with a murmur-style avalanche. Raw FNV is fine for modulo
+// striping but its low diffusion shows on a hash *circle*: similar short
+// keys ("e2e-0".."e2e-9", "a#0".."a#63") land on correlated points,
+// clustering virtual nodes and gluing runs of instance ids to one owner.
+// The finalizer decorrelates them without leaving the FNV family.
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum32()
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// membershipHash folds the sorted membership and vnode count into the ring
+// version: two processes agree on placement iff their versions match, so
+// the version is what routers and nodes exchange to detect stale topology.
+func (r *Ring) membershipHash() uint64 {
+	h := fnv.New64a()
+	for _, n := range r.nodes {
+		_, _ = h.Write([]byte(n))
+		_, _ = h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "vnodes=%d", r.vnodes)
+	return h.Sum64()
+}
+
+// Version identifies the membership: equal versions mean identical
+// placement for every instance id.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Nodes returns the sorted distinct node names.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// VNodes returns the virtual-node count per node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the node owning an instance id.
+func (r *Ring) Owner(id string) string {
+	owner, _ := r.OwnerReplica(id)
+	return owner
+}
+
+// OwnerReplica returns the owning node and the next distinct node
+// clockwise — the read-failover replica. With a single-node ring the
+// replica equals the owner.
+func (r *Ring) OwnerReplica(id string) (owner, replica string) {
+	h := hash32(id)
+	i := sort.Search(len(r.points), func(k int) bool { return r.points[k].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	owner = r.points[i].node
+	replica = owner
+	for k := 1; k < len(r.points); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if p.node != owner {
+			replica = p.node
+			break
+		}
+	}
+	return owner, replica
+}

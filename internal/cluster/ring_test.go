@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"provmin/internal/metrics"
+)
+
+func TestBuildRingValidation(t *testing.T) {
+	if _, err := BuildRing(nil, 8); err == nil {
+		t.Fatal("empty membership should fail")
+	}
+	if _, err := BuildRing([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty node name should fail")
+	}
+	r, err := BuildRing([]string{"b", "a", "b"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("nodes = %v, want [a b] (deduped, sorted)", got)
+	}
+}
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	r1, _ := BuildRing([]string{"a", "b", "c"}, 32)
+	r2, _ := BuildRing([]string{"c", "a", "b"}, 32)
+	if r1.Version() != r2.Version() {
+		t.Fatalf("versions differ for same membership: %d vs %d", r1.Version(), r2.Version())
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("inst-%d", i)
+		if r1.Owner(id) != r2.Owner(id) {
+			t.Fatalf("owner of %q differs across peer-list orderings", id)
+		}
+	}
+}
+
+func TestRingVersionChangesWithMembership(t *testing.T) {
+	r1, _ := BuildRing([]string{"a", "b"}, 32)
+	r2, _ := BuildRing([]string{"a", "b", "c"}, 32)
+	r3, _ := BuildRing([]string{"a", "b"}, 64)
+	if r1.Version() == r2.Version() {
+		t.Fatal("adding a node must change the ring version")
+	}
+	if r1.Version() == r3.Version() {
+		t.Fatal("changing vnodes must change the ring version")
+	}
+}
+
+func TestRingReplicaDistinct(t *testing.T) {
+	r, _ := BuildRing([]string{"a", "b", "c"}, 64)
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("x-%d", i)
+		owner, replica := r.OwnerReplica(id)
+		if owner == replica {
+			t.Fatalf("replica of %q equals owner %q on a 3-node ring", id, owner)
+		}
+	}
+	single, _ := BuildRing([]string{"solo"}, 64)
+	if o, rep := single.OwnerReplica("x"); o != "solo" || rep != "solo" {
+		t.Fatalf("single-node ring: owner=%q replica=%q, want solo/solo", o, rep)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, _ := BuildRing([]string{"a", "b", "c"}, DefaultVNodes)
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("inst-%d", i))]++
+	}
+	for node, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys — ring badly skewed: %v", node, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	r3, _ := BuildRing([]string{"a", "b", "c"}, DefaultVNodes)
+	r4, _ := BuildRing([]string{"a", "b", "c", "d"}, DefaultVNodes)
+	moved := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("inst-%d", i)
+		o3, o4 := r3.Owner(id), r4.Owner(id)
+		if o3 != o4 {
+			moved++
+			if o4 != "d" {
+				t.Fatalf("instance %q moved %s→%s; adding d must only move keys to d", id, o3, o4)
+			}
+		}
+	}
+	// Consistent hashing moves ~1/4 of keys when going 3→4 nodes.
+	if frac := float64(moved) / n; frac > 0.45 {
+		t.Fatalf("%.1f%% of keys moved adding one node — not consistent hashing", 100*frac)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers(" b=http://h2:1 , a=http://h1:1/ ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].Name != "a" || nodes[0].URL != "http://h1:1" || nodes[1].Name != "b" {
+		t.Fatalf("parsed %+v", nodes)
+	}
+	for _, bad := range []string{"", "a", "a=ftp://x", "a=http://x,a=http://y", "=http://x"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTopologyProbeMarkDownUp(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	topo, err := NewTopology(TopologyConfig{
+		Peers:         []Node{{Name: "a", URL: srv.URL}, {Name: "self", URL: "http://127.0.0.1:1"}},
+		Self:          "self",
+		MarkDownAfter: 2,
+		Metrics:       metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	ctx := context.Background()
+	if down := topo.Probe(ctx); down != 0 {
+		t.Fatalf("healthy probe marked %d down", down)
+	}
+	healthy.Store(false)
+	topo.Probe(ctx) // one failure: below threshold
+	if !topo.Healthy("a") {
+		t.Fatal("one failure should not mark down with MarkDownAfter=2")
+	}
+	topo.Probe(ctx)
+	if topo.Healthy("a") {
+		t.Fatal("two consecutive failures should mark the node down")
+	}
+	healthy.Store(true)
+	topo.Probe(ctx)
+	if !topo.Healthy("a") {
+		t.Fatal("first success should mark the node up again")
+	}
+	info := topo.Info()
+	if info.Self != "self" || len(info.Nodes) != 2 || info.RingVersion == 0 {
+		t.Fatalf("topology info %+v", info)
+	}
+}
+
+func TestRouterCacheGenerationGate(t *testing.T) {
+	c := newRouterCache(4, 1<<20, metrics.NewRegistry())
+	key := cacheKey("i1", "core", `{"q":1}`)
+	c.put(&cacheEntry{key: key, id: "i1", gen: 3, status: 200, body: []byte("r3")})
+	if _, ok := c.get(key, 3); !ok {
+		t.Fatal("matching generation must hit")
+	}
+	if _, ok := c.get(key, 4); ok {
+		t.Fatal("advanced generation must miss")
+	}
+	// The stale entry was removed; even the old generation misses now.
+	if _, ok := c.get(key, 3); ok {
+		t.Fatal("stale entry should have been dropped")
+	}
+}
+
+func TestRouterCacheInvalidateAndBounds(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newRouterCache(2, 1<<20, reg)
+	for i := 0; i < 3; i++ {
+		k := cacheKey("i1", "core", fmt.Sprintf("q%d", i))
+		c.put(&cacheEntry{key: k, id: "i1", gen: 1, status: 200, body: []byte("x")})
+	}
+	if got := reg.Gauge("router_cache_entries").Value(); got != 2 {
+		t.Fatalf("entry bound not enforced: %d entries", got)
+	}
+	c.invalidate("i1")
+	if got := reg.Gauge("router_cache_entries").Value(); got != 0 {
+		t.Fatalf("invalidate left %d entries", got)
+	}
+	if got := reg.Gauge("router_cache_bytes").Value(); got != 0 {
+		t.Fatalf("invalidate left %d bytes accounted", got)
+	}
+}

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"provmin/internal/metrics"
+)
+
+// Node is one cluster member: a stable name (the ring hashes names, so a
+// node can change address without moving data) and its HTTP base URL.
+type Node struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ParsePeers parses a -peers flag value: comma-separated name=url pairs,
+// e.g. "a=http://10.0.0.1:8411,b=http://10.0.0.2:8411". Names must be
+// unique; URLs must be absolute http(s).
+func ParsePeers(s string) ([]Node, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty -peers")
+	}
+	var nodes []Node
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawURL, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: peer %q is not name=url", part)
+		}
+		name = strings.TrimSpace(name)
+		rawURL = strings.TrimSpace(rawURL)
+		if name == "" {
+			return nil, fmt.Errorf("cluster: peer %q has an empty name", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", name)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q needs an absolute http(s) url, got %q", name, rawURL)
+		}
+		seen[name] = true
+		nodes = append(nodes, Node{Name: name, URL: strings.TrimRight(rawURL, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: -peers lists no nodes")
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	return nodes, nil
+}
+
+// NodeStatus is one node's view in a /topology response.
+type NodeStatus struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Self    bool   `json:"self,omitempty"`
+}
+
+// TopologyInfo is the GET /topology payload served by every node and by
+// the router: the ring version plus the member list with health. Clients
+// that receive a 409 stale-ring error refresh from here.
+type TopologyInfo struct {
+	RingVersion uint64       `json:"ring_version"`
+	VNodes      int          `json:"vnodes"`
+	Self        string       `json:"self,omitempty"`
+	Nodes       []NodeStatus `json:"nodes"`
+}
+
+// Topology is the static membership plus live health state shared by nodes
+// and the router: the ring, the peer list, and a background prober that
+// marks nodes down after consecutive /healthz failures and up again on the
+// first success. All methods are safe for concurrent use.
+type Topology struct {
+	ring   *Ring
+	nodes  []Node
+	self   string // this process's node name; empty on the router
+	byName map[string]Node
+
+	mu            sync.Mutex
+	downN         map[string]int  // consecutive probe failures
+	down          map[string]bool // marked down
+	stop          chan struct{}
+	done          chan struct{}
+	client        *http.Client
+	reg           *metrics.Registry
+	markDownAfter int
+}
+
+// TopologyConfig configures NewTopology.
+type TopologyConfig struct {
+	Peers  []Node
+	Self   string // node name of this process ("" for a router)
+	VNodes int
+	// ProbeInterval is the /healthz probing period; <= 0 disables the
+	// prober goroutine (tests call Probe directly).
+	ProbeInterval time.Duration
+	// MarkDownAfter is the consecutive-failure threshold before a node is
+	// marked down (default 2). The first success marks it up again.
+	MarkDownAfter int
+	// Client issues probe requests (default: 2s-timeout client).
+	Client  *http.Client
+	Metrics *metrics.Registry
+}
+
+// NewTopology validates the membership, builds the ring and (with a
+// positive probe interval) starts the health prober. Self, when set, must
+// be one of the peers.
+func NewTopology(cfg TopologyConfig) (*Topology, error) {
+	names := make([]string, 0, len(cfg.Peers))
+	byName := map[string]Node{}
+	for _, n := range cfg.Peers {
+		names = append(names, n.Name)
+		byName[n.Name] = n
+	}
+	ring, err := BuildRing(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Self != "" {
+		if _, ok := byName[cfg.Self]; !ok {
+			return nil, fmt.Errorf("cluster: node name %q is not in the peer list", cfg.Self)
+		}
+	}
+	if cfg.MarkDownAfter <= 0 {
+		cfg.MarkDownAfter = 2
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	t := &Topology{
+		ring:          ring,
+		nodes:         append([]Node(nil), cfg.Peers...),
+		self:          cfg.Self,
+		byName:        byName,
+		downN:         map[string]int{},
+		down:          map[string]bool{},
+		client:        cfg.Client,
+		reg:           cfg.Metrics,
+		markDownAfter: cfg.MarkDownAfter,
+	}
+	sort.Slice(t.nodes, func(i, j int) bool { return t.nodes[i].Name < t.nodes[j].Name })
+	t.reg.Gauge("cluster_ring_version").Set(int64(ring.Version()))
+	t.reg.Gauge("cluster_nodes").Set(int64(len(t.nodes)))
+	if cfg.ProbeInterval > 0 {
+		t.stop = make(chan struct{})
+		t.done = make(chan struct{})
+		go t.probeLoop(cfg.ProbeInterval)
+	}
+	return t, nil
+}
+
+// Close stops the prober goroutine, if any.
+func (t *Topology) Close() {
+	if t.stop != nil {
+		close(t.stop)
+		<-t.done
+		t.stop = nil
+	}
+}
+
+// Ring returns the consistent-hash ring.
+func (t *Topology) Ring() *Ring { return t.ring }
+
+// Self returns this process's node name ("" on a router).
+func (t *Topology) Self() string { return t.self }
+
+// Nodes returns the membership sorted by name.
+func (t *Topology) Nodes() []Node { return append([]Node(nil), t.nodes...) }
+
+// URLOf resolves a node name to its base URL.
+func (t *Topology) URLOf(name string) (string, bool) {
+	n, ok := t.byName[name]
+	return n.URL, ok
+}
+
+// Owner returns the ring owner of an instance id.
+func (t *Topology) Owner(id string) string { return t.ring.Owner(id) }
+
+// OwnerReplica returns the ring owner and read-failover replica of an id.
+func (t *Topology) OwnerReplica(id string) (string, string) { return t.ring.OwnerReplica(id) }
+
+// OwnsLocally reports whether this process is the ring owner of id.
+func (t *Topology) OwnsLocally(id string) bool {
+	return t.self != "" && t.ring.Owner(id) == t.self
+}
+
+// ReplicaLocally reports whether this process is the ring replica of id.
+func (t *Topology) ReplicaLocally(id string) bool {
+	if t.self == "" {
+		return false
+	}
+	_, rep := t.ring.OwnerReplica(id)
+	return rep == t.self
+}
+
+// Healthy reports the prober's current view of a node. A node never probed
+// (prober disabled, or just started) counts healthy — mark-down is an
+// optimization for fast failover, not a correctness gate.
+func (t *Topology) Healthy(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.down[name]
+}
+
+// MarkDown records one probe failure; MarkUp resets. Exported so the
+// router can fold request-time connect failures into the health view
+// without waiting for the next probe tick.
+func (t *Topology) MarkDown(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.downN[name]++
+	if t.downN[name] >= t.markDownAfter && !t.down[name] {
+		t.down[name] = true
+		t.reg.Counter("cluster_node_markdowns_total").Inc()
+		t.updateHealthGauge()
+	}
+}
+
+// MarkUp records a successful contact with a node.
+func (t *Topology) MarkUp(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.downN[name] = 0
+	if t.down[name] {
+		delete(t.down, name)
+		t.reg.Counter("cluster_node_markups_total").Inc()
+		t.updateHealthGauge()
+	}
+}
+
+// updateHealthGauge refreshes cluster_nodes_down; callers hold t.mu.
+func (t *Topology) updateHealthGauge() {
+	t.reg.Gauge("cluster_nodes_down").Set(int64(len(t.down)))
+}
+
+// Probe runs one health pass over every peer (except self) and returns the
+// number of nodes currently marked down. Exported so tests and one-shot
+// tools can drive health deterministically.
+func (t *Topology) Probe(ctx context.Context) int {
+	for _, n := range t.nodes {
+		if n.Name == t.self {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/healthz", nil)
+		if err != nil {
+			t.MarkDown(n.Name)
+			continue
+		}
+		resp, err := t.client.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			t.MarkDown(n.Name)
+			continue
+		}
+		resp.Body.Close()
+		t.MarkUp(n.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.down)
+}
+
+func (t *Topology) probeLoop(interval time.Duration) {
+	defer close(t.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			t.Probe(ctx)
+			cancel()
+		}
+	}
+}
+
+// Info renders the /topology payload from the current health view.
+func (t *Topology) Info() TopologyInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := TopologyInfo{
+		RingVersion: t.ring.Version(),
+		VNodes:      t.ring.VNodes(),
+		Self:        t.self,
+	}
+	for _, n := range t.nodes {
+		info.Nodes = append(info.Nodes, NodeStatus{
+			Name:    n.Name,
+			URL:     n.URL,
+			Healthy: !t.down[n.Name],
+			Self:    n.Name == t.self,
+		})
+	}
+	return info
+}

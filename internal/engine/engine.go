@@ -91,7 +91,27 @@ type Config struct {
 	// negative disables the goroutine — tests call EnforceResidency
 	// directly). Ignored without Backend.
 	JanitorInterval time.Duration
+	// AdoptOnMiss, when set alongside Backend, is consulted by lookup when
+	// an instance id is neither resident nor cold. Returning AdoptOwned
+	// adopts the id's blob from the (shared) backend as a locally-owned cold
+	// instance — healing the crash window of a cluster rebalance handoff;
+	// AdoptBorrowed loads a read-only borrowed copy — the replica read path
+	// when this node is not the id's ring owner. AdoptNone keeps the miss.
+	// Ignored without Backend.
+	AdoptOnMiss func(id string) AdoptMode
 }
+
+// AdoptMode is an AdoptOnMiss verdict for an unknown instance id.
+type AdoptMode int
+
+const (
+	// AdoptNone leaves the miss as ErrUnknownInstance.
+	AdoptNone AdoptMode = iota
+	// AdoptOwned adopts the id's cold blob as a locally-owned instance.
+	AdoptOwned
+	// AdoptBorrowed loads the id's cold blob as a read-only borrowed copy.
+	AdoptBorrowed
+)
 
 // ErrClosed is returned for operations on a closed engine — a service
 // availability condition, distinct from client errors.
@@ -110,6 +130,18 @@ var ErrInvalidSeed = errors.New("invalid seed facts")
 // a service fault. Match with errors.Is.
 var ErrUnknownInstance = errors.New("no such instance")
 
+// ErrBorrowed rejects writes against a borrowed replica copy: its state
+// belongs to another node, and mutating it here would fork the instance.
+var ErrBorrowed = errors.New("engine: instance is a borrowed read-only copy")
+
+// ErrInstanceExists is wrapped by CreateInstanceWithID when the requested
+// id is already registered (resident or cold) — an HTTP 409 for clients.
+var ErrInstanceExists = errors.New("engine: instance already exists")
+
+// ErrBadInstanceID is wrapped by CreateInstanceWithID for ids that are not
+// storage-key-safe — a client input error (HTTP 400).
+var ErrBadInstanceID = errors.New("engine: invalid instance id")
+
 // Engine is a long-lived, concurrency-safe provenance service core.
 type Engine struct {
 	cfg      Config
@@ -122,6 +154,16 @@ type Engine struct {
 	shards []*regShard
 	nextID atomic.Uint64
 	closed atomic.Bool
+
+	// closeMu is the shutdown barrier: every mutation that may write the
+	// WAL or the cold backend outside an ingest batcher (create, drop,
+	// evict, fault-in, release, adopt, borrow) holds the read side across
+	// its whole body, and Close takes the write side — after setting closed
+	// and stopping the janitor, before closing batchers and the log. A
+	// transition therefore either observes closed before doing anything, or
+	// finishes its WAL commit before the log's final sync: no evict or
+	// release record can land after the store closes.
+	closeMu sync.RWMutex
 
 	// sfMu/inflight give Minimize singleflight semantics: concurrent
 	// cache misses for one canonical key run MinProv once and share it.
@@ -172,6 +214,11 @@ type minFlight struct {
 // batcher is created eagerly so Close/Drop never race a lazy initializer.
 type instance struct {
 	id string
+	// borrowed marks a read-only replica copy loaded from another node's
+	// cold blob (see handoff.go). Immutable after construction: ingest is
+	// rejected, snapshots skip it, and evict/drop discard it without
+	// touching the WAL or the shared blob.
+	borrowed bool
 
 	mu      sync.RWMutex // guards db, version, lastSeq, bytes and batcher
 	db      *db.Instance
@@ -274,12 +321,18 @@ func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
-	// Quiesce the janitor first: after this, no new evictions start (any
-	// in flight fails at the closed check or on the closed log, harmlessly).
+	// Quiesce the janitor first: after this, no new janitor evictions start.
 	if e.janitorStop != nil {
 		close(e.janitorStop)
 		<-e.janitorDone
 	}
+	// Shutdown barrier: wait out every in-flight registry/residency
+	// transition (a new one observes closed under its read hold and backs
+	// off). After this, nothing commits WAL records outside the batchers —
+	// so an eviction racing shutdown can never leave an acknowledged evict
+	// record unflushed behind the log's final sync.
+	e.closeMu.Lock()
+	e.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	var insts []*instance
 	for _, sh := range e.shards {
 		sh.mu.Lock()
@@ -302,21 +355,67 @@ func (e *Engine) Close() {
 
 // InstanceInfo describes one instance for listings. State is "cold" for
 // evicted instances (whose counts are the last known before eviction, or
-// zero for blobs discovered at boot) and empty for resident ones, so
-// untiered listings render exactly as before.
+// zero for blobs discovered at boot), "borrowed" for read-only replica
+// copies, and empty for resident owned ones, so untiered listings render
+// exactly as before.
 type InstanceInfo struct {
 	ID        string `json:"id"`
 	Relations int    `json:"relations"`
 	Tuples    int    `json:"tuples"`
 	Version   uint64 `json:"version"`
 	State     string `json:"state,omitempty"`
+	Borrowed  bool   `json:"borrowed,omitempty"`
 }
 
-// CreateInstance registers a new annotated instance, optionally seeded from
-// facts in the db text format ("<relation> <tag> <value>..." per line).
-// When durable, the create (with its seed text) is write-ahead-logged
-// before the instance becomes visible.
+// CreateInstance registers a new annotated instance under a generated id,
+// optionally seeded from facts in the db text format
+// ("<relation> <tag> <value>..." per line). When durable, the create (with
+// its seed text) is write-ahead-logged before the instance becomes visible.
 func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	return e.createInstance(fmt.Sprintf("i%d", e.nextID.Add(1)), initial)
+}
+
+// CreateInstanceWithID registers a new instance under a caller-chosen id —
+// the cluster router picks ids so the ring, not the owning node's counter,
+// determines placement. The id must be storage-key-safe; a duplicate is
+// ErrInstanceExists. Serialized against residency transitions for the same
+// id so a create cannot interleave with an adopt or release of it.
+func (e *Engine) CreateInstanceWithID(id, initial string) (InstanceInfo, error) {
+	if _, err := tier.BlobName(id); err != nil {
+		return InstanceInfo{}, fmt.Errorf("%w: %v", ErrBadInstanceID, err)
+	}
+	// Lock order: the shutdown barrier strictly before the flight mutex
+	// (matching evict/fault-in/adopt), else a queued Close writer wedges a
+	// create holding the flight lock against an evict holding the barrier.
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	release := e.lockResidency(id)
+	defer release()
+	sh := e.shardOf(id)
+	sh.mu.RLock()
+	_, resident := sh.instances[id]
+	_, cold := sh.cold[id]
+	sh.mu.RUnlock()
+	if resident || cold {
+		return InstanceInfo{}, fmt.Errorf("%w: %q", ErrInstanceExists, id)
+	}
+	// Keep generated ids from ever colliding with an explicit "i<n>".
+	if n := numericInstanceID(id); n > 0 {
+		for {
+			cur := e.nextID.Load()
+			if n <= cur || e.nextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	return e.createInstance(id, initial)
+}
+
+// createInstance is the shared create path behind both id schemes. The
+// caller holds closeMu.RLock.
+func (e *Engine) createInstance(id, initial string) (InstanceInfo, error) {
 	d := db.NewInstance()
 	if initial != "" {
 		parsed, err := db.ParseInstance(initial)
@@ -328,19 +427,27 @@ func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 	if e.closed.Load() {
 		return InstanceInfo{}, ErrClosed
 	}
-	in := &instance{id: fmt.Sprintf("i%d", e.nextID.Add(1)), db: d, bytes: instanceCost(d)}
+	in := &instance{id: id, db: d, bytes: instanceCost(d)}
 	in.results = e.newResultCache()
 	in.batcher = newIngestBatcher(e, in, e.cfg.IngestBatchSize, e.cfg.IngestMaxWait)
 	inserted := false
+	exists := false
 	insert := func(uint64) {
 		sh := e.shardOf(in.id)
 		sh.mu.Lock()
-		// Re-check under the shard lock so a concurrent Close cannot miss
-		// this instance's batcher. (A durable create that loses this race
-		// has already been logged: replay will recreate it as an unowned
-		// instance on the next boot — recovery may contain more than was
-		// acknowledged, never less.)
-		if !e.closed.Load() {
+		// Last-line duplicate guard: explicit-id creates pre-check under the
+		// flight lock, so this only fires on pathological races — better a
+		// 409 than silently replacing a live instance.
+		if _, dup := sh.instances[in.id]; dup {
+			exists = true
+		} else if _, dup := sh.cold[in.id]; dup {
+			exists = true
+		} else if !e.closed.Load() {
+			// Re-check closed under the shard lock so a concurrent Close
+			// cannot miss this instance's batcher. (A durable create that
+			// loses this race has already been logged: replay will recreate
+			// it as an unowned instance on the next boot — recovery may
+			// contain more than was acknowledged, never less.)
 			sh.instances[in.id] = in
 			sh.count.Add(1)
 			inserted = true
@@ -375,6 +482,9 @@ func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 	}
 	if !inserted {
 		in.batcher.close()
+		if exists {
+			return InstanceInfo{}, fmt.Errorf("%w: %q", ErrInstanceExists, in.id)
+		}
 		return InstanceInfo{}, ErrClosed
 	}
 	e.updateShardGauges()
@@ -389,6 +499,8 @@ func (e *Engine) CreateInstance(initial string) (InstanceInfo, error) {
 // returns an error — the instance is gone from memory but the drop may
 // not be durable.
 func (e *Engine) DropInstance(id string) (bool, error) {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
 	if e.backend != nil {
 		// Serialize against evict/fault-in so the instance cannot change
 		// residency state under the drop.
@@ -405,6 +517,12 @@ func (e *Engine) DropInstance(id string) (bool, error) {
 			return e.dropCold(id)
 		}
 		return false, nil
+	}
+	if in.borrowed {
+		// A borrowed copy is not ours to drop durably: discard the RAM copy
+		// without a WAL record, and never GC the blob — it belongs to the
+		// owning node.
+		return e.discardBorrowed(in), nil
 	}
 	removed := false
 	var bytes int64
@@ -588,12 +706,32 @@ func (e *Engine) captureShard(k int) []persist.InstanceState {
 	defer sh.mu.RUnlock()
 	out := make([]persist.InstanceState, 0, len(sh.instances))
 	for _, in := range sh.instances {
+		if in.borrowed {
+			// Borrowed copies are another node's state: capturing one would
+			// resurrect it as locally owned on replay.
+			continue
+		}
 		in.mu.RLock()
 		out = append(out, persist.InstanceState{ID: in.id, DB: in.db.Clone(), Version: in.version, LastSeq: in.lastSeq})
 		in.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// Generation returns an instance's current generation counter — the
+// cluster router's cache-coherence token. A cold instance is faulted in
+// first: a stub's remembered version may predate boot-discovered blobs, and
+// a wrong generation here would let the router serve a stale cached result,
+// so correctness wins over keeping the instance cold.
+func (e *Engine) Generation(id string) (uint64, error) {
+	in, err := e.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.version, nil
 }
 
 // Instance returns info for one instance.
@@ -608,12 +746,17 @@ func (e *Engine) Instance(id string) (InstanceInfo, bool) {
 func (e *Engine) describe(in *instance) InstanceInfo {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
-	return InstanceInfo{
+	info := InstanceInfo{
 		ID:        in.id,
 		Relations: len(in.db.Relations()),
 		Tuples:    in.db.NumTuples(),
 		Version:   in.version,
 	}
+	if in.borrowed {
+		info.State = "borrowed"
+		info.Borrowed = true
+	}
+	return info
 }
 
 // lookup resolves an instance id to its resident instance. With tiering
@@ -635,6 +778,7 @@ func (e *Engine) lookup(id string) (*instance, error) {
 		}
 		return in, nil
 	}
+	adoptTried := false
 	for range faultInRetries {
 		sh.mu.RLock()
 		in, ok := sh.instances[id]
@@ -645,6 +789,26 @@ func (e *Engine) lookup(id string) (*instance, error) {
 			return in, nil
 		}
 		if !cold {
+			// Unknown here, but with a shared cold tier the blob may exist
+			// under another node's ownership history: a cluster deployment
+			// decides via AdoptOnMiss whether to adopt it (ring owner) or
+			// borrow a read-only copy (replica read path). One attempt per
+			// lookup — a second miss is a real miss.
+			if e.cfg.AdoptOnMiss != nil && !adoptTried {
+				adoptTried = true
+				switch e.cfg.AdoptOnMiss(id) {
+				case AdoptOwned:
+					if err := e.AdoptInstance(context.Background(), id); err != nil {
+						return nil, err
+					}
+					continue
+				case AdoptBorrowed:
+					if err := e.borrowIn(id); err != nil {
+						return nil, err
+					}
+					continue
+				}
+			}
 			return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
 		}
 		if err := e.faultIn(id); err != nil {
@@ -691,6 +855,9 @@ func (e *Engine) Ingest(id string, facts []Fact) error {
 		in, err := e.lookup(id)
 		if err != nil {
 			return err
+		}
+		if in.borrowed {
+			return fmt.Errorf("%w: %s", ErrBorrowed, id)
 		}
 		if len(facts) == 0 {
 			return nil

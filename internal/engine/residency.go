@@ -89,6 +89,11 @@ func (e *Engine) EvictInstance(id string) error {
 	if e.backend == nil {
 		return ErrNoTiering
 	}
+	// Hold the shutdown barrier across the whole eviction (blob write and
+	// WAL record): Close waits this out before its final log sync, so an
+	// acknowledged evict record can never be lost behind it.
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -105,6 +110,13 @@ func (e *Engine) EvictInstance(id string) error {
 			return nil
 		}
 		return fmt.Errorf("%w %q", ErrUnknownInstance, id)
+	}
+	if in.borrowed {
+		// Evicting a borrowed copy just discards it: its authoritative state
+		// is the owning node's blob — writing ours back could clobber a
+		// newer one, and a WAL record would resurrect foreign state.
+		e.discardBorrowed(in)
+		return nil
 	}
 
 	start := time.Now()
@@ -207,6 +219,11 @@ func (e *Engine) reviveBatcher(in *instance) {
 // load single-flight — every concurrent caller past the first finds the
 // instance already resident and returns without touching the backend.
 func (e *Engine) faultIn(id string) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	release := e.lockResidency(id)
 	defer release()
 
@@ -337,7 +354,14 @@ func (e *Engine) janitor(interval time.Duration) {
 // instances are left in place — they look stale, but WAL replay needs them
 // at fault-in records until a compaction covers the resident state. Call
 // once after New, before serving.
-func (e *Engine) AdoptCold(ctx context.Context) error {
+//
+// owns filters adoption on a shared backend: nil adopts every blob (the
+// single-node deployment); in a cluster each node passes its consistent-
+// hash ownership predicate, so two nodes listing one bucket never both
+// claim an instance. Unowned blobs are left completely alone — not
+// adopted, and not GC'd even when this node's WAL says dropped, because a
+// re-created instance of the same id may now live under another owner.
+func (e *Engine) AdoptCold(ctx context.Context, owns func(id string) bool) error {
 	if e.backend == nil {
 		return nil
 	}
@@ -353,6 +377,15 @@ func (e *Engine) AdoptCold(ctx context.Context) error {
 	}
 	var maxID uint64
 	for _, id := range ids {
+		// The id-counter bump looks at every listed blob, owned or not:
+		// generated ids must not collide with any instance in a shared
+		// bucket, whoever owns it.
+		if n := numericInstanceID(id); n > maxID {
+			maxID = n
+		}
+		if owns != nil && !owns(id) {
+			continue
+		}
 		if dropped[id] {
 			if err := e.backend.Delete(ctx, id); err != nil {
 				e.reg.Counter("engine_blob_gc_failures_total").Inc()
@@ -360,9 +393,6 @@ func (e *Engine) AdoptCold(ctx context.Context) error {
 				e.reg.Counter("engine_blob_gc_total").Inc()
 			}
 			continue
-		}
-		if n := numericInstanceID(id); n > maxID {
-			maxID = n
 		}
 		sh := e.shardOf(id)
 		sh.mu.Lock()

@@ -33,7 +33,7 @@ func tieredDurableEngine(t *testing.T, dir string, backend tier.SnapshotBackend)
 		Workers: 2, CacheSize: 8, IngestBatchSize: 8, IngestMaxWait: time.Millisecond,
 		Persist: l, Backend: backend, JanitorInterval: -1, Metrics: reg,
 	})
-	if err := e.AdoptCold(context.Background()); err != nil {
+	if err := e.AdoptCold(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 	return e

@@ -391,3 +391,34 @@ func TestShardForStable(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayReleaseForgetsWithoutDrop: a release record (cluster handoff)
+// must make replay forget the instance — like a drop — but never list it as
+// dropped, because boot GC deletes dropped ids' blobs and a released blob
+// belongs to the adopting node.
+func TestReplayReleaseForgetsWithoutDrop(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 4)
+	commitT(t, l, Record{Op: OpCreate, ID: "h1", Initial: "R r1 a b"})
+	commitT(t, l, Record{Op: OpIngest, ID: "h1", Facts: []Fact{{Rel: "R", Tag: "r2", Values: []string{"b", "c"}}}})
+	commitT(t, l, Record{Op: OpRelease, ID: "h1"})
+	commitT(t, l, Record{Op: OpCreate, ID: "i2"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, dir, 4)
+	defer l2.Close()
+	if findRecovered(l2, "h1") != nil {
+		t.Fatal("released instance replayed into RAM")
+	}
+	if got := l2.DroppedIDs(); len(got) != 0 {
+		t.Fatalf("released instance listed as dropped: %v", got)
+	}
+	if findRecovered(l2, "i2") == nil {
+		t.Fatal("unrelated instance lost by release replay")
+	}
+	if got := l2.reg.Gauge("persist_replay_released_instances").Value(); got != 1 {
+		t.Fatalf("persist_replay_released_instances = %d, want 1", got)
+	}
+}

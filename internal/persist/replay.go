@@ -85,7 +85,7 @@ func (l *Log) replay() (reshard bool, err error) {
 		final[recs[i].ID] = recs[i].Op
 	}
 	l.dropped = nil
-	var coldCount int64
+	var coldCount, releasedCount int64
 	for id, op := range final {
 		switch op {
 		case OpEvict:
@@ -93,6 +93,11 @@ func (l *Log) replay() (reshard bool, err error) {
 			delete(insts, id) // an older shard snapshot may still carry it
 		case OpDrop:
 			l.dropped = append(l.dropped, id)
+			delete(insts, id)
+		case OpRelease:
+			// Handed off to another node: forget it here, but never list it
+			// as dropped — its blob now belongs to the new owner.
+			releasedCount++
 			delete(insts, id)
 		}
 	}
@@ -113,7 +118,7 @@ func (l *Log) replay() (reshard bool, err error) {
 		}
 		maxID = maxInstanceID(maxID, rec.ID)
 		switch final[rec.ID] {
-		case OpEvict, OpDrop:
+		case OpEvict, OpDrop, OpRelease:
 			// Finally cold or dropped: the record's effect is fully covered
 			// by the blob (or moot); never build the instance in RAM.
 			l.reg.Counter("persist_replay_residency_skips_total").Inc()
@@ -149,6 +154,7 @@ func (l *Log) replay() (reshard bool, err error) {
 
 	l.reg.Gauge("persist_recovered_instances").Set(int64(len(l.recovered)))
 	l.reg.Gauge("persist_replay_cold_instances").Set(coldCount)
+	l.reg.Gauge("persist_replay_released_instances").Set(releasedCount)
 	l.reg.Gauge("persist_replay_duration_ms").Set(time.Since(start).Milliseconds())
 
 	return l.layoutMismatch(snaps, wals), nil
@@ -192,10 +198,12 @@ func applyRecord(rec *Record, insts map[string]*RecoveredInstance) error {
 		if in, ok := insts[rec.ID]; ok && in.LastSeq < rec.Seq {
 			delete(insts, rec.ID)
 		}
-	case OpEvict:
+	case OpEvict, OpRelease:
 		// An intermediate evict (a later fault-in follows, or the instance
 		// ends resident) just releases the RAM copy; the following fault-in
-		// record reloads the blob.
+		// record reloads the blob. An intermediate release behaves the same
+		// way: the instance was handed off and later adopted back, and the
+		// adopt-side fault-in record reloads the (rewritten) blob.
 		if in, ok := insts[rec.ID]; ok && in.LastSeq < rec.Seq {
 			delete(insts, rec.ID)
 		}

@@ -61,6 +61,13 @@ const (
 	// instances out of RAM and to know where a blob re-enters the history.
 	OpEvict   = "evict"
 	OpFaultIn = "faultin"
+
+	// OpRelease records a cluster rebalance handoff: the instance's state
+	// was snapshotted into its cold blob and this node forgot it, but —
+	// unlike OpDrop — the instance still exists, owned by another node.
+	// Replay forgets it without marking it dropped, so this node's boot GC
+	// never deletes the new owner's blob from a shared backend.
+	OpRelease = "release"
 )
 
 // Record is one WAL entry. Records are JSON-encoded one per line, each

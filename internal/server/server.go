@@ -12,9 +12,13 @@
 //	POST   /prob                     derivation probability (apps/prob)
 //	POST   /trust                    trust cost / confidence (apps/trust)
 //	POST   /deletion                 deletion propagation (apps/deletion)
+//	GET    /gen/{id}                 instance generation (cluster cache token)
+//	GET    /topology                 ring version + node health (clustered)
 //	POST   /admin/snapshot           write durable snapshots (keep WAL)
 //	POST   /admin/compact            snapshot + reset write-ahead logs
 //	POST   /admin/evict              evict an instance to the cold tier
+//	POST   /admin/adopt              adopt an instance blob from the shared tier
+//	POST   /admin/release            release an instance for cluster handoff
 //	GET    /admin/residency          resident/cold split, bytes, LRU ages
 //	GET    /admin/cache              result-cache occupancy
 //	GET    /metrics                  Prometheus text (or ?format=json)
@@ -30,9 +34,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"provmin/internal/cluster"
 	"provmin/internal/db"
 	"provmin/internal/engine"
 	"provmin/internal/eval"
@@ -43,7 +49,10 @@ import (
 // Server routes HTTP requests to an engine.
 type Server struct {
 	eng *engine.Engine
-	mux *http.ServeMux
+	// topo is non-nil when this node is part of a cluster: it serves
+	// GET /topology and arms the stale-ring request check.
+	topo *cluster.Topology
+	mux  *http.ServeMux
 }
 
 // New builds a Server over eng and registers all routes.
@@ -60,13 +69,27 @@ func New(eng *engine.Engine) *Server {
 	s.route("POST /prob", "prob", s.handleProb)
 	s.route("POST /trust", "trust", s.handleTrust)
 	s.route("POST /deletion", "deletion", s.handleDeletion)
+	s.route("GET /gen/{id}", "generation", s.handleGeneration)
+	s.route("GET /topology", "topology", s.handleTopology)
 	s.route("POST /admin/snapshot", "snapshot", s.handleSnapshot)
 	s.route("POST /admin/compact", "compact", s.handleCompact)
 	s.route("POST /admin/evict", "evict", s.handleEvict)
+	s.route("POST /admin/adopt", "adopt", s.handleAdopt)
+	s.route("POST /admin/release", "release", s.handleRelease)
 	s.route("GET /admin/residency", "residency", s.handleResidency)
 	s.route("GET /admin/cache", "cache_stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// NewClustered builds a Server that also participates in a cluster: it
+// serves GET /topology from topo and rejects requests stamped with a ring
+// version other than its own (409), so a router holding a stale member
+// list fails fast instead of reading from the wrong node.
+func NewClustered(eng *engine.Engine, topo *cluster.Topology) *Server {
+	s := New(eng)
+	s.topo = topo
 	return s
 }
 
@@ -83,7 +106,11 @@ func (s *Server) route(pattern, op string, h func(w http.ResponseWriter, r *http
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Inc()
-		if err := h(w, r); err != nil {
+		err := s.checkRing(r)
+		if err == nil {
+			err = h(w, r)
+		}
+		if err != nil {
 			errs.Inc()
 			writeError(w, err)
 		}
@@ -91,6 +118,16 @@ func (s *Server) route(pattern, op string, h func(w http.ResponseWriter, r *http
 		lat.Observe(d)
 		opLat.Observe(d)
 	})
+}
+
+// checkRing rejects requests whose X-Provmind-Ring header names a ring
+// version other than this node's. Nil (pass) when the node is unclustered
+// or the request carries no stamp, so plain curl keeps working.
+func (s *Server) checkRing(r *http.Request) error {
+	if s.topo == nil {
+		return nil
+	}
+	return cluster.CheckRing(r, s.topo.Ring().Version())
 }
 
 // apiError carries an HTTP status with an error.
@@ -111,10 +148,25 @@ func notFound(format string, args ...any) error {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	var ae *apiError
+	var (
+		ae  *apiError
+		sre *cluster.StaleRingError
+	)
 	switch {
 	case errors.As(err, &ae):
 		status = ae.status
+	case errors.As(err, &sre):
+		// The router's member list disagrees with ours: 409 tells it to
+		// refresh /topology and re-route rather than trust this node.
+		status = http.StatusConflict
+	case errors.Is(err, engine.ErrBorrowed):
+		// Writes to a borrowed (read-only replica) copy conflict with the
+		// routing invariant that the ring owner takes all writes.
+		status = http.StatusConflict
+	case errors.Is(err, engine.ErrInstanceExists):
+		status = http.StatusConflict
+	case errors.Is(err, engine.ErrBadInstanceID):
+		status = http.StatusBadRequest
 	case errors.Is(err, engine.ErrClosed):
 		// Engine shut down while the HTTP server drains: availability,
 		// not client fault — tell well-behaved clients to retry.
@@ -197,6 +249,10 @@ func tuplesOut(ts []db.Tuple) [][]string {
 // --- instance management ---
 
 type createInstanceReq struct {
+	// ID pins the instance id instead of letting the engine generate one.
+	// The cluster router names instances itself so every node (and the
+	// ring) agrees on the id before the instance exists anywhere.
+	ID string `json:"id,omitempty"`
 	// Initial seeds the instance from db text format, one fact per line:
 	// "<relation> <tag> <value>...".
 	Initial string `json:"initial,omitempty"`
@@ -211,11 +267,21 @@ func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) er
 			return err
 		}
 	}
-	info, err := s.eng.CreateInstance(req.Initial)
+	var (
+		info engine.InstanceInfo
+		err  error
+	)
+	if req.ID != "" {
+		info, err = s.eng.CreateInstanceWithID(req.ID, req.Initial)
+	} else {
+		info, err = s.eng.CreateInstance(req.Initial)
+	}
 	if err != nil {
 		switch {
-		case errors.Is(err, engine.ErrClosed):
-			return err // mapped to 503 by writeError
+		case errors.Is(err, engine.ErrClosed),
+			errors.Is(err, engine.ErrInstanceExists),
+			errors.Is(err, engine.ErrBadInstanceID):
+			return err // mapped to 503 / 409 / 400 by writeError
 		case errors.Is(err, engine.ErrInvalidSeed):
 			return badRequest("%v", err)
 		default:
@@ -315,6 +381,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	// The generation header lets the cluster router cache this response
+	// without a second round trip; it must go out before the status line.
+	w.Header().Set(cluster.HeaderGeneration, strconv.FormatUint(out.Version, 10))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"instance":         req.Instance,
 		"version":          out.Version,
@@ -372,6 +441,7 @@ func (s *Server) serveCore(w http.ResponseWriter, r *http.Request, req coreReq) 
 	if err != nil {
 		return err
 	}
+	w.Header().Set(cluster.HeaderGeneration, strconv.FormatUint(out.Version, 10))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"instance":         req.Instance,
 		"version":          out.Version,
@@ -487,6 +557,75 @@ func (s *Server) handleDeletion(w http.ResponseWriter, r *http.Request) error {
 		"survivors": tuplesOut(out.Survivors),
 		"lost":      tuplesOut(out.Lost),
 	})
+	return nil
+}
+
+// --- cluster endpoints ---
+
+// handleGeneration serves GET /gen/{id}: the instance's generation counter,
+// the coherence token the cluster router validates cached results against.
+// Faults cold instances in rather than trusting a possibly-stale stub
+// version — correctness of cache validation beats keeping the tier cold.
+func (s *Server) handleGeneration(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	gen, err := s.eng.Generation(id)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"instance": id, "generation": gen})
+	return nil
+}
+
+// handleTopology serves GET /topology: ring version plus the node list with
+// health, the router's source of truth after a 409 stale-ring rejection.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) error {
+	if s.topo == nil {
+		return &apiError{status: http.StatusConflict, msg: "this node is not clustered"}
+	}
+	writeJSON(w, http.StatusOK, s.topo.Info())
+	return nil
+}
+
+type handoffReq struct {
+	Instance string `json:"instance"`
+}
+
+func decodeHandoff(r *http.Request) (string, error) {
+	var req handoffReq
+	if err := decodeJSON(r, &req); err != nil {
+		return "", err
+	}
+	if req.Instance == "" {
+		return "", badRequest("missing instance")
+	}
+	return req.Instance, nil
+}
+
+// handleRelease serves POST /admin/release: snapshot the instance to the
+// shared cold tier and forget it locally, the donor half of a rebalance.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) error {
+	id, err := decodeHandoff(r)
+	if err != nil {
+		return err
+	}
+	if err := s.eng.ReleaseInstance(r.Context(), id); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"released": id})
+	return nil
+}
+
+// handleAdopt serves POST /admin/adopt: register a released blob from the
+// shared cold tier as a local cold instance, the recipient half.
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) error {
+	id, err := decodeHandoff(r)
+	if err != nil {
+		return err
+	}
+	if err := s.eng.AdoptInstance(r.Context(), id); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"adopted": id})
 	return nil
 }
 

@@ -47,6 +47,31 @@ type SnapshotBackend interface {
 	String() string
 }
 
+// StatBackend is an optional SnapshotBackend extension: a cheap existence
+// check without fetching the blob. The engine's cluster adopt-on-miss path
+// uses it to answer "is this a real instance somewhere in the shared cold
+// tier, or a typo?" without paying a full Get for every unknown id.
+// Backends that don't implement it fall back to Get.
+type StatBackend interface {
+	Exists(ctx context.Context, id string) (bool, error)
+}
+
+// Exists reports whether a blob exists for id, using the backend's
+// StatBackend fast path when available and a full Get otherwise.
+func Exists(ctx context.Context, b SnapshotBackend, id string) (bool, error) {
+	if sb, ok := b.(StatBackend); ok {
+		return sb.Exists(ctx, id)
+	}
+	_, err := b.Get(ctx, id)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // idPat restricts instance ids embedded in storage keys: engine ids are
 // "i<n>", but the backends accept anything path- and key-safe so tests and
 // future id schemes keep working. Rejecting the rest keeps a hostile id
@@ -133,6 +158,22 @@ func (b *FSBackend) Get(_ context.Context, id string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return raw, err
+}
+
+// Exists implements StatBackend with a stat, never reading blob bytes.
+func (b *FSBackend) Exists(_ context.Context, id string) (bool, error) {
+	name, err := BlobName(id)
+	if err != nil {
+		return false, err
+	}
+	_, err = os.Stat(filepath.Join(b.dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Delete implements SnapshotBackend; deleting an absent blob succeeds.

@@ -80,6 +80,14 @@ func (s *FakeObjectStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 		w.Write(data) //nolint:errcheck
+	case r.Method == http.MethodHead:
+		data, ok := objs[key]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.WriteHeader(http.StatusOK)
 	case r.Method == http.MethodDelete:
 		delete(objs, key)
 		w.WriteHeader(http.StatusNoContent)

@@ -140,6 +140,28 @@ func (b *ObjectBackend) Get(ctx context.Context, id string) ([]byte, error) {
 	}
 }
 
+// Exists implements StatBackend via a HEAD request.
+func (b *ObjectBackend) Exists(ctx context.Context, id string) (bool, error) {
+	key, err := b.key(id)
+	if err != nil {
+		return false, err
+	}
+	resp, err := b.do(ctx, http.MethodHead, b.objectURL(key, nil), nil)
+	if err != nil {
+		return false, fmt.Errorf("tier: head %s: %w", key, err)
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		// HEAD responses carry no body, so respError reduces to the status.
+		return false, fmt.Errorf("tier: head %s: %s", key, resp.Status)
+	}
+}
+
 // Delete implements SnapshotBackend; deleting an absent key succeeds (S3
 // returns 204 either way, but tolerate 404 from laxer fakes).
 func (b *ObjectBackend) Delete(ctx context.Context, id string) error {

@@ -18,6 +18,10 @@
 #   --benchtime D         pass -benchtime D to `go test` (default 100ms;
 #                         the baseline must be recorded with the same D)
 #   --baseline FILE       baseline path for --check (default bench/baseline.json)
+#   --trajectory          additionally append this run to the dated
+#                         trajectory file bench/BENCH_<YYYY-MM-DD>.json (a
+#                         JSON array of runs, each with commit + results),
+#                         so per-PR perf history accumulates in-repo
 #
 # The emitter tolerates benchmark lines without an iterations count (a
 # failed benchmark prints its name alone) and -cpu runs that yield several
@@ -33,19 +37,21 @@ baseline="bench/baseline.json"
 check=0
 strict=0
 update=0
+trajectory=0
 
 while [ "$#" -gt 0 ]; do
     case "$1" in
         --check) check=1 ;;
         --strict) strict=1 ;;
         --update-baseline) update=1 ;;
+        --trajectory) trajectory=1 ;;
         --benchtime)
             [ "$#" -ge 2 ] || { echo "bench.sh: --benchtime needs a value" >&2; exit 2; }
             benchtime="$2"; shift ;;
         --baseline)
             [ "$#" -ge 2 ] || { echo "bench.sh: --baseline needs a value" >&2; exit 2; }
             baseline="$2"; shift ;;
-        -h|--help) sed -n '2,26p' "$0"; exit 0 ;;
+        -h|--help) sed -n '2,30p' "$0"; exit 0 ;;
         -*) echo "bench.sh: unknown option $1" >&2; exit 2 ;;
         *) outdir="$1" ;;
     esac
@@ -99,6 +105,30 @@ echo "wrote $json"
 if [ "$update" -eq 1 ]; then
     cp "$json" "$baseline"
     echo "updated $baseline"
+fi
+
+if [ "$trajectory" -eq 1 ]; then
+    # Append this run to the dated trajectory file: a JSON array with one
+    # object per run. The trajectory lives next to the committed baseline
+    # (bench/), not in $outdir, so CI scratch dirs don't fork the history.
+    traj="bench/BENCH_$(date -u +%Y-%m-%d).json"
+    commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    dirty=false
+    if ! git diff --quiet 2>/dev/null || ! git diff --cached --quiet 2>/dev/null; then
+        dirty=true
+    fi
+    run="{\"ts\":\"$stamp\",\"commit\":\"$commit\",\"dirty\":$dirty,\"benchtime\":\"$benchtime\",\"results\":$(cat "$json")}"
+    if [ -s "$traj" ]; then
+        # The file is always written by this script with the closing "]" on
+        # its own last line: drop that line and append the new run.
+        tmp="$traj.tmp.$$"
+        sed '$d' "$traj" > "$tmp"
+        printf ',\n%s\n]\n' "$run" >> "$tmp"
+        mv "$tmp" "$traj"
+    else
+        printf '[\n%s\n]\n' "$run" > "$traj"
+    fi
+    echo "appended run to $traj"
 fi
 
 if [ "$check" -eq 1 ]; then
