@@ -9,6 +9,7 @@
 //
 //	provmind [-addr :8411] [-workers N] [-cache 1024]
 //	         [-result-cache-size 128] [-result-cache-bytes 33554432]
+//	         [-result-cache-maintain=true]
 //	         [-batch 256] [-batch-wait 2ms] [-shards 8]
 //	         [-data-dir DIR] [-wal-sync always|interval|none]
 //	         [-wal-sync-interval 100ms]
@@ -77,6 +78,7 @@ func main() {
 		cacheSize     = flag.Int("cache", 1024, "minimized-query LRU cache entries")
 		resCacheSize  = flag.Int("result-cache-size", 128, "result-cache entries per instance (0 disables result caching)")
 		resCacheBytes = flag.Int("result-cache-bytes", 32<<20, "approximate result-cache byte bound per instance (0 = entries-only bound)")
+		resCacheMaint = flag.Bool("result-cache-maintain", true, "incrementally maintain cached results across ingests instead of invalidating them")
 		batch         = flag.Int("batch", 256, "ingest batch size (facts)")
 		batchWait     = flag.Duration("batch-wait", 2*time.Millisecond, "max ingest batching delay")
 		shards        = flag.Int("shards", 8, "registry/WAL stripe count")
@@ -206,18 +208,19 @@ func main() {
 		resBytes = -1
 	}
 	cfg := engine.Config{
-		Workers:             *workers,
-		CacheSize:           *cacheSize,
-		ResultCacheSize:     resSize,
-		ResultCacheBytes:    resBytes,
-		IngestBatchSize:     *batch,
-		IngestMaxWait:       *batchWait,
-		Shards:              *shards,
-		Persist:             logStore,
-		Metrics:             reg,
-		Backend:             backend,
-		ResidentBudgetBytes: *residentBytes,
-		ColdAfter:           *coldAfter,
+		Workers:                  *workers,
+		CacheSize:                *cacheSize,
+		ResultCacheSize:          resSize,
+		ResultCacheBytes:         resBytes,
+		DisableResultMaintenance: !*resCacheMaint,
+		IngestBatchSize:          *batch,
+		IngestMaxWait:            *batchWait,
+		Shards:                   *shards,
+		Persist:                  logStore,
+		Metrics:                  reg,
+		Backend:                  backend,
+		ResidentBudgetBytes:      *residentBytes,
+		ColdAfter:                *coldAfter,
 	}
 	// Clustered lookup misses heal from the shared cold tier: the ring
 	// owner adopts the blob outright (it may have been released by a

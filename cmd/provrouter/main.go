@@ -47,8 +47,8 @@ func main() {
 		peers         = flag.String("peers", "", "cluster members as name=url,... (required)")
 		vnodes        = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default; must match the nodes)")
 		probeInterval = flag.Duration("probe-interval", 2*time.Second, "node health probing period (0 disables)")
-		cacheEntries  = flag.Int("cache-entries", 4096, "max cached read responses")
-		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "max cached read-response bytes")
+		cacheEntries  = flag.Int("cache-entries", 4096, "max cached read responses (0 disables response caching)")
+		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "max cached read-response bytes (0 = entries-only bound)")
 		dialTimeout   = flag.Duration("dial-timeout", time.Second, "TCP connect timeout to nodes (drives read failover)")
 		proxyTimeout  = flag.Duration("proxy-timeout", 30*time.Second, "per-attempt upstream request timeout")
 	)
@@ -80,10 +80,20 @@ func main() {
 	}
 	defer topo.Close()
 
+	// RouterConfig treats 0 as "use the default" (the engine Config
+	// convention), so an explicit 0 on the command line (= disable /
+	// unbound) maps to the negative sentinel.
+	entries, bytes := *cacheEntries, *cacheBytes
+	if entries == 0 {
+		entries = -1
+	}
+	if bytes == 0 {
+		bytes = -1
+	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
 		Topology:     topo,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheBytes,
+		CacheEntries: entries,
+		CacheBytes:   bytes,
 		DialTimeout:  *dialTimeout,
 		ProxyTimeout: *proxyTimeout,
 		Metrics:      reg,

@@ -100,9 +100,13 @@ func (c *routerCache) get(key string, gen uint64) (*cacheEntry, bool) {
 }
 
 // put stores a response stamped with the generation the owner reported for
-// it. Replaces any previous entry under the same key.
+// it. Replaces any previous entry under the same key. The size-bound
+// sentinels follow the engine resultCache convention: maxEntries <= 0
+// disables the cache, maxBytes <= 0 means no byte bound (it must not be
+// compared against costs — every cost is positive, so an unguarded check
+// would silently reject every entry).
 func (c *routerCache) put(e *cacheEntry) {
-	if c.maxEntries <= 0 || e.cost() > c.maxBytes {
+	if c.maxEntries <= 0 || (c.maxBytes > 0 && e.cost() > c.maxBytes) {
 		return
 	}
 	c.mu.Lock()
@@ -119,7 +123,7 @@ func (c *routerCache) put(e *cacheEntry) {
 	}
 	keys[e.key] = el
 	c.bytes += e.cost()
-	for c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes {
+	for c.lru.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		oldest := c.lru.Back()
 		if oldest == nil {
 			break

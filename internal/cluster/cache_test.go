@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"provmin/internal/metrics"
+)
+
+func testEntry(id string, n int, body string) *cacheEntry {
+	return &cacheEntry{
+		key:    cacheKey(id, "query", fmt.Sprintf("q%d", n)),
+		id:     id,
+		gen:    1,
+		status: 200,
+		body:   []byte(body),
+		ctype:  "application/json",
+	}
+}
+
+// TestRouterCacheNoByteBound is the regression test for the maxBytes <= 0
+// bug: put compared every entry's cost against the bound without checking
+// that a bound was set, so cost > 0 > maxBytes rejected everything and a
+// zero byte bound silently disabled the cache instead of meaning "no byte
+// bound"; the eviction loop had the same unguarded comparison and would
+// have evicted the whole cache on the next put.
+func TestRouterCacheNoByteBound(t *testing.T) {
+	for _, maxBytes := range []int64{0, -1} {
+		t.Run(fmt.Sprintf("maxBytes=%d", maxBytes), func(t *testing.T) {
+			c := newRouterCache(8, maxBytes, metrics.NewRegistry())
+			for i := 0; i < 4; i++ {
+				c.put(testEntry("i1", i, "body"))
+			}
+			for i := 0; i < 4; i++ {
+				e, ok := c.get(cacheKey("i1", "query", fmt.Sprintf("q%d", i)), 1)
+				if !ok {
+					t.Fatalf("entry %d missing: byte-unbounded cache rejected or evicted it", i)
+				}
+				if string(e.body) != "body" {
+					t.Fatalf("entry %d corrupted: %q", i, e.body)
+				}
+			}
+			if c.evictions.Value() != 0 {
+				t.Fatalf("evictions = %d under the entry cap with no byte bound", c.evictions.Value())
+			}
+			// The entry cap still evicts.
+			for i := 4; i < 10; i++ {
+				c.put(testEntry("i1", i, "body"))
+			}
+			if c.lru.Len() != 8 {
+				t.Fatalf("entries = %d, want 8 (entry cap)", c.lru.Len())
+			}
+		})
+	}
+}
+
+// TestRouterCacheSentinels pins the size-bound sentinel convention shared
+// with the engine's resultCache: maxEntries <= 0 disables the cache,
+// maxBytes <= 0 removes the byte bound, positive bounds enforce.
+func TestRouterCacheSentinels(t *testing.T) {
+	small := testEntry("i1", 0, "x")
+	big := testEntry("i1", 1, string(make([]byte, 4096)))
+	cases := []struct {
+		name                 string
+		maxEntries           int
+		maxBytes             int64
+		wantSmall, wantLarge bool
+	}{
+		{"disabled-zero-entries", 0, 1 << 20, false, false},
+		{"disabled-negative-entries", -1, 1 << 20, false, false},
+		{"unbounded-zero-bytes", 8, 0, true, true},
+		{"unbounded-negative-bytes", 8, -1, true, true},
+		{"byte-bound-rejects-oversized", 8, 256, true, false},
+		{"both-bounds", 8, 1 << 20, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newRouterCache(tc.maxEntries, tc.maxBytes, metrics.NewRegistry())
+			c.put(small)
+			c.put(big)
+			if ok := c.contains(small.key); ok != tc.wantSmall {
+				t.Errorf("small entry cached = %t, want %t", ok, tc.wantSmall)
+			}
+			if ok := c.contains(big.key); ok != tc.wantLarge {
+				t.Errorf("oversized entry cached = %t, want %t", ok, tc.wantLarge)
+			}
+		})
+	}
+}
+
+// TestRouterCacheStaleGeneration pins the validation discipline around the
+// fixed eviction loop: a generation mismatch is a miss that removes the
+// entry even when no byte bound is set.
+func TestRouterCacheStaleGeneration(t *testing.T) {
+	c := newRouterCache(8, 0, metrics.NewRegistry())
+	e := testEntry("i1", 0, "body")
+	c.put(e)
+	if _, ok := c.get(e.key, 2); ok {
+		t.Fatal("stale-generation entry served")
+	}
+	if c.contains(e.key) {
+		t.Fatal("stale entry not removed")
+	}
+	if c.stale.Value() != 1 {
+		t.Fatalf("stale counter = %d, want 1", c.stale.Value())
+	}
+}

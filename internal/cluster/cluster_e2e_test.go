@@ -201,8 +201,9 @@ func mustStatus(t *testing.T, resp *http.Response, body []byte, want int) {
 }
 
 // tryNormalize strips the volatile cache-observability fields (cache_hit,
-// result_cache_hit — whether a response was served warm is not part of the
-// answer) and re-marshals with sorted keys, so two answers are comparable
+// result_cache_hit, maintained_hit — whether a response was served warm,
+// or warm via incremental maintenance, is not part of the answer) and
+// re-marshals with sorted keys, so two answers are comparable
 // byte-for-byte regardless of which caches were warm.
 func tryNormalize(body []byte) (string, error) {
 	var m map[string]any
@@ -211,6 +212,7 @@ func tryNormalize(body []byte) (string, error) {
 	}
 	delete(m, "cache_hit")
 	delete(m, "result_cache_hit")
+	delete(m, "maintained_hit")
 	out, err := json.Marshal(m)
 	if err != nil {
 		return "", err

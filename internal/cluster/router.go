@@ -73,11 +73,14 @@ type routerError struct {
 
 func (e *routerError) Error() string { return e.msg }
 
-// RouterConfig configures NewRouter.
+// RouterConfig configures NewRouter. The cache bounds follow the engine
+// Config sentinel convention: zero selects the default, a negative entry
+// bound disables response caching, and a negative byte bound removes the
+// byte bound (entry cap only).
 type RouterConfig struct {
 	Topology     *Topology
-	CacheEntries int           // max cached responses (default 4096)
-	CacheBytes   int64         // max cached bytes (default 64 MiB)
+	CacheEntries int           // max cached responses (default 4096; negative disables)
+	CacheBytes   int64         // max cached bytes (default 64 MiB; negative unbounds)
 	DialTimeout  time.Duration // TCP connect timeout (default 1s)
 	ProxyTimeout time.Duration // per-attempt request timeout (default 30s)
 	Metrics      *metrics.Registry
@@ -109,10 +112,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Topology == nil {
 		return nil, errors.New("cluster: router needs a topology")
 	}
-	if cfg.CacheEntries <= 0 {
+	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 4096
 	}
-	if cfg.CacheBytes <= 0 {
+	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 64 << 20
 	}
 	if cfg.DialTimeout <= 0 {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"provmin/internal/db"
+	"provmin/internal/eval"
 	"provmin/internal/persist"
 )
 
@@ -183,10 +184,33 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 		b.inst.mu.RUnlock()
 		applied := false
 		var delta, newBytes int64
+		// Maintenance bookkeeping: pre-insert row counts of the relations
+		// this batch touches (rows are append-only, so the inserted facts
+		// are exactly the suffix past oldLen), arities of relations the
+		// batch creates, and whether any fact replaced an existing tuple's
+		// tag — a replacement is a mutation, not an insertion, and voids
+		// the additive delta rules for the whole batch.
+		oldLen := map[string]int{}
+		created := map[string]int{}
+		overwrite := false
+		var plan []maintainTask
 		apply := func(seq uint64) {
 			applied = true
 			b.inst.mu.Lock()
 			for _, f := range facts {
+				if _, seen := oldLen[f.Rel]; !seen {
+					if rel := b.inst.db.Lookup(f.Rel); rel != nil {
+						oldLen[f.Rel] = rel.Len()
+					} else {
+						oldLen[f.Rel] = 0
+						created[f.Rel] = len(f.Values)
+					}
+				}
+				if !overwrite {
+					if rel := b.inst.db.Lookup(f.Rel); rel != nil && rel.Contains(f.Values...) {
+						overwrite = true
+					}
+				}
 				// The size delta must be read before the fact lands: it
 				// compares the fact against the current relation state.
 				delta += factDelta(b.inst.db, f)
@@ -197,11 +221,19 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 			newBytes = b.inst.bytes
 			b.inst.version = gen
 			b.inst.lastSeq = seq
-			// Every cached result is now stale; sweep eagerly so dead
-			// entries don't stay pinned until LRU pressure. Safe under the
-			// write lock: evalCached puts only while holding the read lock
-			// over the same generation it stamped.
-			b.inst.results.invalidateAll()
+			// Every cached result now carries a stale stamp. Purely
+			// additive batches keep eligible entries alive for delta
+			// maintenance (promoted to gen right after this lock is
+			// released, before the batch is acknowledged); anything else
+			// falls back to the eager sweep so dead entries don't stay
+			// pinned until LRU pressure. Both run under the write lock:
+			// evalCached puts only while holding the read lock over the
+			// same generation it stamped.
+			if b.eng.cfg.DisableResultMaintenance || overwrite {
+				b.inst.results.invalidateAll()
+			} else {
+				plan = b.inst.results.planMaintenance(gen-1, created)
+			}
 			b.inst.mu.Unlock()
 		}
 		if log := b.eng.log; log != nil {
@@ -226,6 +258,9 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 		}
 		if applied {
 			b.eng.noteInstanceBytes(b.inst.id, delta, newBytes)
+			if len(plan) > 0 {
+				b.maintain(plan, gen, oldLen)
+			}
 		}
 	}
 	for _, req := range valid {
@@ -233,6 +268,33 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 	}
 	for req, err := range rejected {
 		req.resp <- err
+	}
+}
+
+// maintain promotes every surviving cached entry across the batch it just
+// applied: the delta rules are evaluated over the inserted row suffixes and
+// merged into a copy of each cached result, restamping it to gen. It runs
+// in the batcher goroutine between applying a batch and acknowledging it —
+// this loop is the instance's only writer, so under the read lock the
+// database is exactly the state generation gen names, and once add returns
+// to a caller the cache has already been promoted (no window where a
+// follow-up query pays a cold re-evaluation). Concurrent readers that miss
+// meanwhile re-evaluate at gen and win the put race; promote then leaves
+// their fresher entries alone.
+func (b *ingestBatcher) maintain(plan []maintainTask, gen uint64, oldLen map[string]int) {
+	b.inst.mu.RLock()
+	defer b.inst.mu.RUnlock()
+	for _, task := range plan {
+		start := time.Now()
+		delta, err := eval.EvalUCQDelta(task.u, b.inst.db, oldLen)
+		if err != nil {
+			// planMaintenance filters every known-failing shape; anything
+			// that still errors is dropped rather than promoted wrongly.
+			b.inst.results.invalidateKey(task.key)
+			continue
+		}
+		b.eng.resStats.deltaEval.Observe(time.Since(start))
+		b.inst.results.promote(task.key, gen-1, gen, delta)
 	}
 }
 

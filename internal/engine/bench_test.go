@@ -185,3 +185,65 @@ func BenchmarkRegistryContention(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkQueryAfterIngest is the acceptance pair for incremental result
+// maintenance: each iteration ingests one fresh fact and re-runs a fixed
+// query. With maintenance on, the write promotes the cached result by
+// delta-evaluating the single inserted row and the query is a warm hit;
+// with maintenance off (the pre-maintenance engine, and the
+// -result-cache-maintain=false ablation) the write invalidates the entry
+// and every query pays a full re-evaluation of the instance.
+func BenchmarkQueryAfterIngest(b *testing.B) {
+	const chain = 2000
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{
+		{"maintained", false},
+		{"invalidate", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e := New(Config{
+				Workers: 4, CacheSize: 64,
+				DisableResultMaintenance: cfg.disable,
+				IngestBatchSize:          1,
+			})
+			b.Cleanup(e.Close)
+			info, err := e.CreateInstance("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A long chain keeps the full evaluation linear in the instance
+			// (distinct constants, so no multiplicity blow-up) while the
+			// per-iteration delta stays a single indexed probe.
+			facts := make([]Fact, 0, chain)
+			for i := 0; i < chain; i++ {
+				facts = append(facts, Fact{
+					Rel: "R", Tag: fmt.Sprintf("r%d", i),
+					Values: []string{fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1)},
+				})
+			}
+			if err := e.Ingest(info.ID, facts); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			u := query.MustParseUnion(benchQuery)
+			if _, err := e.Query(ctx, info.ID, u); err != nil {
+				b.Fatal(err) // materialize the cache entry
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := Fact{
+					Rel: "R", Tag: fmt.Sprintf("n%d", i),
+					Values: []string{fmt.Sprintf("a%d", chain+i), fmt.Sprintf("a%d", chain+i+1)},
+				}
+				if err := e.Ingest(info.ID, []Fact{f}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Query(ctx, info.ID, u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// approximate resident bytes (default 32 MiB; negative removes the
 	// byte bound, leaving only the entry cap).
 	ResultCacheBytes int64
+	// DisableResultMaintenance turns off incremental result maintenance:
+	// every ingest falls back to invalidating the instance's cached
+	// results instead of promoting eligible entries with delta
+	// evaluation. The ablation switch for -result-cache-maintain=false.
+	DisableResultMaintenance bool
 	// IngestBatchSize flushes an ingest batch when this many facts are
 	// pending (default 256).
 	IngestBatchSize int
@@ -822,24 +827,26 @@ func (e *Engine) lookup(id string) (*instance, error) {
 // from the result cache when an entry exists at the instance's current
 // generation. The generation is read under the same lock hold that runs
 // the evaluation, so a cached result is exactly the result a cold
-// evaluation at that generation produces. Concurrent misses for one key
-// may evaluate redundantly; the last put wins, all of them are correct.
-func (e *Engine) evalCached(in *instance, u *query.UCQ) (res *eval.Result, gen uint64, hit bool, err error) {
+// evaluation at that generation produces. maintained reports whether a hit
+// was served from an entry whose stamp came from delta promotion rather
+// than full evaluation. Concurrent misses for one key may evaluate
+// redundantly; the freshest-generation put wins, all of them are correct.
+func (e *Engine) evalCached(in *instance, u *query.UCQ) (res *eval.Result, gen uint64, hit, maintained bool, err error) {
 	key := resultKey(u)
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	gen = in.version
-	if res, ok := in.results.get(key, gen); ok {
-		return res, gen, true, nil
+	if res, maintained, ok := in.results.get(key, gen); ok {
+		return res, gen, true, maintained, nil
 	}
 	start := time.Now()
 	res, err = eval.EvalUCQ(u, in.db)
 	if err != nil {
-		return nil, gen, false, err
+		return nil, gen, false, false, err
 	}
 	e.reg.Histogram("engine_eval_seconds").Observe(time.Since(start))
-	in.results.put(key, gen, res)
-	return res, gen, false, nil
+	in.results.put(key, gen, u, res)
+	return res, gen, false, false, nil
 }
 
 // Ingest applies a group of facts to an instance through its batcher; it
@@ -896,9 +903,10 @@ func (e *Engine) run(ctx context.Context, fn func() (any, error)) (any, error) {
 
 // QueryOut is the result of a full-provenance query request.
 type QueryOut struct {
-	Result   *eval.Result
-	Version  uint64 // instance generation the result reflects
-	CacheHit bool   // served from the result cache (evaluation skipped)
+	Result        *eval.Result
+	Version       uint64 // instance generation the result reflects
+	CacheHit      bool   // served from the result cache (evaluation skipped)
+	MaintainedHit bool   // the serving entry was promoted by delta maintenance
 }
 
 // Query evaluates a union over an instance with full N[X] provenance
@@ -913,11 +921,11 @@ func (e *Engine) Query(ctx context.Context, id string, u *query.UCQ) (*QueryOut,
 	}
 	e.reg.Counter("engine_queries_total").Inc()
 	v, err := e.run(ctx, func() (any, error) {
-		res, gen, hit, err := e.evalCached(in, u)
+		res, gen, hit, maintained, err := e.evalCached(in, u)
 		if err != nil {
 			return nil, err
 		}
-		return &QueryOut{Result: res, Version: gen, CacheHit: hit}, nil
+		return &QueryOut{Result: res, Version: gen, CacheHit: hit, MaintainedHit: maintained}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -998,6 +1006,8 @@ type ResultCacheStats struct {
 	Misses        int64                `json:"misses"`
 	Evictions     int64                `json:"evictions"`
 	Invalidations int64                `json:"invalidations"`
+	Promotions    int64                `json:"promotions"`
+	Maintain      bool                 `json:"maintain"`
 	MinCacheLen   int                  `json:"minimized_query_entries"`
 	Instances     []InstanceCacheStats `json:"instances"`
 }
@@ -1014,6 +1024,8 @@ func (e *Engine) ResultCacheStatsNow() ResultCacheStats {
 		Misses:        e.resStats.misses.Value(),
 		Evictions:     e.resStats.evictions.Value(),
 		Invalidations: e.resStats.invalidations.Value(),
+		Promotions:    e.resStats.promotions.Value(),
+		Maintain:      !e.cfg.DisableResultMaintenance,
 		MinCacheLen:   e.cache.len(),
 		Instances:     []InstanceCacheStats{},
 	}
@@ -1041,6 +1053,7 @@ type CoreOut struct {
 	Minimized      *query.UCQ   // the p-minimal query that realized it
 	CacheHit       bool         // whether MinProv was skipped
 	ResultCacheHit bool         // whether the evaluation itself was skipped
+	MaintainedHit  bool         // the serving entry was promoted by delta maintenance
 	Version        uint64       // instance generation the result reflects
 }
 
@@ -1059,11 +1072,11 @@ func (e *Engine) Core(ctx context.Context, id string, u *query.UCQ) (*CoreOut, e
 		min, hit := e.Minimize(u)
 		// The result is cached under the minimized form's canonical key, so
 		// a /core of u and a /query of min share one materialization.
-		res, gen, resHit, err := e.evalCached(in, min)
+		res, gen, resHit, maintained, err := e.evalCached(in, min)
 		if err != nil {
 			return nil, err
 		}
-		return &CoreOut{Result: res, Minimized: min, CacheHit: hit, ResultCacheHit: resHit, Version: gen}, nil
+		return &CoreOut{Result: res, Minimized: min, CacheHit: hit, ResultCacheHit: resHit, MaintainedHit: maintained, Version: gen}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -1106,7 +1119,7 @@ func (e *Engine) TupleProvenance(ctx context.Context, id string, u *query.UCQ, t
 		return semiring.Zero, err
 	}
 	v, err := e.run(ctx, func() (any, error) {
-		res, _, _, err := e.evalCached(in, u)
+		res, _, _, _, err := e.evalCached(in, u)
 		if err != nil {
 			return nil, err
 		}
@@ -1222,7 +1235,7 @@ func (e *Engine) Deletion(ctx context.Context, id string, u *query.UCQ, deletedT
 		deleted[tg] = true
 	}
 	v, err := e.run(ctx, func() (any, error) {
-		res, _, _, err := e.evalCached(in, u)
+		res, _, _, _, err := e.evalCached(in, u)
 		if err != nil {
 			return nil, err
 		}

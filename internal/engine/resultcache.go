@@ -6,6 +6,7 @@ import (
 
 	"provmin/internal/eval"
 	"provmin/internal/metrics"
+	"provmin/internal/query"
 )
 
 // This file is the read-path result cache. The minimization cache
@@ -27,8 +28,10 @@ type resultCacheStats struct {
 	misses        *metrics.Counter
 	evictions     *metrics.Counter
 	invalidations *metrics.Counter
+	promotions    *metrics.Counter
 	entries       *metrics.Gauge
 	bytes         *metrics.Gauge
+	deltaEval     *metrics.Histogram
 }
 
 func newResultCacheStats(reg *metrics.Registry) *resultCacheStats {
@@ -37,8 +40,10 @@ func newResultCacheStats(reg *metrics.Registry) *resultCacheStats {
 		misses:        reg.Counter("engine_result_cache_misses_total"),
 		evictions:     reg.Counter("engine_result_cache_evictions_total"),
 		invalidations: reg.Counter("engine_result_cache_invalidations_total"),
+		promotions:    reg.Counter("engine_result_cache_promotions_total"),
 		entries:       reg.Gauge("engine_result_cache_entries"),
 		bytes:         reg.Gauge("engine_result_cache_bytes"),
+		deltaEval:     reg.Histogram("engine_delta_eval_seconds"),
 	}
 }
 
@@ -64,6 +69,13 @@ type resultEntry struct {
 	gen   uint64
 	res   *eval.Result
 	bytes int64
+	// u is the query this entry materializes (for /core entries, the
+	// p-minimal form the result was actually evaluated from) — the ingest
+	// batcher re-plans it for delta maintenance. maintained marks entries
+	// whose current stamp came from a promotion rather than a full
+	// evaluation; it is reporting-only and never affects correctness.
+	u          *query.UCQ
+	maintained bool
 }
 
 func newResultCache(maxEntries int, maxBytes int64, stats *resultCacheStats) *resultCache {
@@ -77,29 +89,34 @@ func newResultCache(maxEntries int, maxBytes int64, stats *resultCacheStats) *re
 }
 
 // get returns the cached result for key if it was materialized at exactly
-// generation gen. An entry at any other generation is stale — the instance
-// changed since — and is removed on sight.
-func (c *resultCache) get(key string, gen uint64) (*eval.Result, bool) {
+// generation gen, and whether that stamp came from a promotion. An entry at
+// any other generation is stale — the instance changed since — and is
+// removed on sight.
+func (c *resultCache) get(key string, gen uint64) (res *eval.Result, maintained, ok bool) {
 	if c.maxEntries <= 0 {
-		return nil, false
+		// Disabled caches answer without touching the hit/miss counters: a
+		// cache that cannot hold entries has no hit ratio, and counting
+		// every request as a miss would drown the stats of enabled
+		// instances sharing the engine-wide registry.
+		return nil, false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
+	el, found := c.items[key]
+	if !found {
 		c.stats.misses.Inc()
-		return nil, false
+		return nil, false, false
 	}
 	en := el.Value.(*resultEntry)
 	if en.gen != gen {
 		c.removeLocked(el)
 		c.stats.invalidations.Inc()
 		c.stats.misses.Inc()
-		return nil, false
+		return nil, false, false
 	}
 	c.order.MoveToFront(el)
 	c.stats.hits.Inc()
-	return en.res, true
+	return en.res, en.maintained, true
 }
 
 // put stores a freshly evaluated result under its generation stamp,
@@ -107,7 +124,7 @@ func (c *resultCache) get(key string, gen uint64) (*eval.Result, bool) {
 // bounds hold again. Oversized single results (cost above the byte bound)
 // are not cached at all — caching them would immediately evict everything
 // else for a result unlikely to be re-served before the next ingest.
-func (c *resultCache) put(key string, gen uint64, res *eval.Result) {
+func (c *resultCache) put(key string, gen uint64, u *query.UCQ, res *eval.Result) {
 	if c.maxEntries <= 0 {
 		return
 	}
@@ -125,9 +142,16 @@ func (c *resultCache) put(key string, gen uint64, res *eval.Result) {
 	}
 	if el, ok := c.items[key]; ok {
 		// Concurrent misses for one key race to put; keep the newest stamp.
+		// Generations only move forward, so an existing entry with a newer
+		// stamp wins: a promotion may have advanced this key past the
+		// generation a slow reader evaluated at, and overwriting it would
+		// serve a stale result at the promoted generation forever after.
+		if el.Value.(*resultEntry).gen > gen {
+			return
+		}
 		c.removeLocked(el)
 	}
-	en := &resultEntry{key: key, gen: gen, res: res, bytes: cost}
+	en := &resultEntry{key: key, gen: gen, res: res, bytes: cost, u: u}
 	c.items[key] = c.order.PushFront(en)
 	c.bytes += cost
 	c.stats.entries.Inc()
@@ -173,6 +197,136 @@ func (c *resultCache) invalidateAll() {
 	defer c.mu.Unlock()
 	for c.order.Len() > 0 {
 		c.removeLocked(c.order.Back())
+		c.stats.invalidations.Inc()
+	}
+}
+
+// maintainTask is one cache entry the ingest batcher will try to carry
+// across a generation with delta evaluation instead of invalidating.
+type maintainTask struct {
+	key string
+	u   *query.UCQ
+}
+
+// planMaintenance is called by the ingest batcher after applying an
+// additive batch, while it still holds the instance write lock. It sweeps
+// the entries that cannot be maintained across this batch — stamped at a
+// generation other than oldGen (already stale), carrying no query, or
+// mentioning a relation the batch created with a conflicting arity (the
+// query flipped from vacuously-empty to erroring) — and returns the
+// survivors for delta evaluation. Disequalities do NOT disqualify an
+// entry: they filter assignments by their bindings alone, never by
+// instance state, so a UCQ≠ stays monotone under pure insertion and the
+// delta partition stays exact — which matters because p-minimization
+// (the /core path) introduces disequalities systematically. Survivors
+// keep their old stamp until promote lands, so a reader that races in
+// meanwhile simply misses and re-evaluates.
+func (c *resultCache) planMaintenance(oldGen uint64, created map[string]int) []maintainTask {
+	if c.maxEntries <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var tasks []maintainTask
+	var drop []*list.Element
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		en := el.Value.(*resultEntry)
+		if en.gen != oldGen || !maintainable(en.u, created) {
+			drop = append(drop, el)
+			continue
+		}
+		tasks = append(tasks, maintainTask{key: en.key, u: en.u})
+	}
+	for _, el := range drop {
+		c.removeLocked(el)
+		c.stats.invalidations.Inc()
+	}
+	return tasks
+}
+
+// maintainable reports whether an entry's query can be carried across an
+// additive batch by the delta rules.
+func maintainable(u *query.UCQ, created map[string]int) bool {
+	if u == nil {
+		return false
+	}
+	for _, q := range u.Adjuncts {
+		for _, at := range q.Atoms {
+			if ar, ok := created[at.Rel]; ok && ar != len(at.Args) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// promote merges freshly derived delta monomials into the entry for key and
+// restamps it from oldGen to newGen. The cached result is shared with past
+// readers and is never mutated: the merge builds a new Result from a copy
+// of the old tuples plus the delta. Promotion only applies to an entry
+// still stamped exactly oldGen — if a concurrent reader already
+// materialized this key at a newer generation, that fresher entry wins and
+// the promotion is dropped. Returns whether the entry was promoted.
+func (c *resultCache) promote(key string, oldGen, newGen uint64, delta *eval.Result) bool {
+	if c.maxEntries <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	en := el.Value.(*resultEntry)
+	if en.gen != oldGen {
+		return false
+	}
+	merged := en.res
+	if delta.Len() > 0 {
+		m := eval.NewResult()
+		for _, ot := range en.res.Tuples() {
+			m.Add(ot.Tuple, ot.Prov)
+		}
+		for _, ot := range delta.Tuples() {
+			m.Add(ot.Tuple, ot.Prov)
+		}
+		m.Finish()
+		merged = m
+	}
+	cost := resultCost(merged)
+	if c.maxBytes > 0 && cost > c.maxBytes {
+		// The maintained result outgrew the byte bound; drop it like put
+		// drops oversized fresh results.
+		c.removeLocked(el)
+		c.stats.evictions.Inc()
+		return false
+	}
+	c.stats.bytes.Add(cost - en.bytes)
+	c.bytes += cost - en.bytes
+	en.res, en.gen, en.bytes, en.maintained = merged, newGen, cost, true
+	c.order.MoveToFront(el)
+	c.stats.promotions.Inc()
+	// The merge may have grown past the byte bound; evict colder entries.
+	// The promoted entry itself was just moved to the front and fits alone
+	// (checked above), so it is never the victim.
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.order.Len() > 1 {
+		c.removeLocked(c.order.Back())
+		c.stats.evictions.Inc()
+	}
+	return true
+}
+
+// invalidateKey drops a single entry (if present) and counts it as an
+// invalidation — the batcher's fallback when delta evaluation of one
+// surviving entry fails unexpectedly.
+func (c *resultCache) invalidateKey(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.removeLocked(el)
 		c.stats.invalidations.Inc()
 	}
 }

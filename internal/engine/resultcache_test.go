@@ -6,16 +6,19 @@ import (
 
 	"provmin/internal/db"
 	"provmin/internal/eval"
+	"provmin/internal/metrics"
 	"provmin/internal/query"
 )
 
-// TestResultCacheHitAndInvalidation pins the acceptance contract: a repeat
-// query at an unchanged generation is a hit serving the identical
-// materialization; an ingest bumps the generation and invalidates; and the
-// result served after invalidation is byte-identical to a cold evaluation
-// of the same facts.
+// TestResultCacheHitAndInvalidation pins the acceptance contract of the
+// ablation path (maintenance off): a repeat query at an unchanged
+// generation is a hit serving the identical materialization; an ingest
+// bumps the generation and invalidates; and the result served after
+// invalidation is byte-identical to a cold evaluation of the same facts.
+// The maintained path is pinned by maintain_test.go.
 func TestResultCacheHitAndInvalidation(t *testing.T) {
-	e := newTestEngine(t)
+	e := New(Config{Workers: 4, CacheSize: 8, DisableResultMaintenance: true})
+	t.Cleanup(e.Close)
 	id := mustCreate(t, e, paperInstance)
 	u := query.MustParseUnion(paperQuery)
 	ctx := context.Background()
@@ -268,11 +271,75 @@ func TestResultCacheStatsAndPurge(t *testing.T) {
 	}
 	c := e.newResultCache()
 	c.purge()
-	c.put("k", 1, res)
+	c.put("k", 1, query.MustParseUnion(paperQuery), res)
 	if entries, bytes := c.usage(); entries != 0 || bytes != 0 {
 		t.Errorf("put after purge landed: entries=%d bytes=%d", entries, bytes)
 	}
 	if n := e.Metrics().Gauge("engine_result_cache_entries").Value(); n != 0 {
 		t.Errorf("entries gauge after post-purge put = %d, want 0", n)
+	}
+}
+
+// TestResultCacheSentinels pins the size-bound sentinel convention shared
+// by every cache knob in the tree (engine resultCache here, the router
+// response cache in internal/cluster): at the cache layer maxEntries <= 0
+// disables caching entirely and maxBytes <= 0 removes the byte bound. The
+// command-line flags sit one layer up and map an explicit 0 to the
+// negative sentinel, because engine.Config/cluster.RouterConfig reserve 0
+// for "use the default".
+func TestResultCacheSentinels(t *testing.T) {
+	d, err := db.ParseInstance(paperInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := query.MustParseUnion(paperQuery)
+	res, err := eval.EvalUCQ(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := resultCost(res)
+
+	cases := []struct {
+		name       string
+		maxEntries int
+		maxBytes   int64
+		wantCached bool
+	}{
+		{"disabled-zero-entries", 0, 1 << 20, false},
+		{"disabled-negative-entries", -1, 1 << 20, false},
+		{"unbounded-zero-bytes", 8, 0, true},
+		{"unbounded-negative-bytes", 8, -1, true},
+		{"byte-bound-rejects-oversized", 8, cost - 1, false},
+		{"byte-bound-admits", 8, cost, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newResultCache(tc.maxEntries, tc.maxBytes, newResultCacheStats(metrics.NewRegistry()))
+			c.put("k", 1, u, res)
+			_, _, ok := c.get("k", 1)
+			if ok != tc.wantCached {
+				t.Fatalf("cached = %t, want %t", ok, tc.wantCached)
+			}
+		})
+	}
+}
+
+// TestResultCacheDisabledCountersSilent: a disabled cache (entries <= 0)
+// must answer get without touching the hit/miss counters — it has no hit
+// ratio to report, and since the stats registry is engine-wide, counting
+// every request as a miss would drown the ratios of enabled instances.
+func TestResultCacheDisabledCountersSilent(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newResultCache(0, 0, newResultCacheStats(reg))
+	for i := 0; i < 5; i++ {
+		if _, _, ok := c.get("k", 1); ok {
+			t.Fatal("disabled cache reported a hit")
+		}
+	}
+	if n := reg.Counter("engine_result_cache_hits_total").Value(); n != 0 {
+		t.Errorf("hits counter = %d, want 0", n)
+	}
+	if n := reg.Counter("engine_result_cache_misses_total").Value(); n != 0 {
+		t.Errorf("misses counter = %d, want 0", n)
 	}
 }

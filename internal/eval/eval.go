@@ -215,7 +215,15 @@ type enumerator struct {
 	fn      func(Assignment) error
 	binding map[string]string
 	rows    []int
+	// ranges, when non-nil, restricts each body atom (by atom index) to a
+	// row window of its relation. Used by the delta evaluator to split a
+	// relation into its pre-insert prefix and inserted suffix.
+	ranges []rowRange
 }
+
+// rowRange is a half-open row window [lo, hi); hi < 0 means the relation's
+// full current length.
+type rowRange struct{ lo, hi int }
 
 func (e *enumerator) extend(step int) error {
 	if step == len(e.order) {
@@ -236,7 +244,7 @@ func (e *enumerator) extend(step int) error {
 	if rel == nil {
 		return nil // empty relation: no assignments
 	}
-	for _, rowIdx := range e.candidates(rel, at) {
+	for _, rowIdx := range e.candidates(atomIdx, rel, at) {
 		row := rel.Rows()[rowIdx]
 		newly, ok := e.tryBind(at, row.Tuple)
 		if ok && e.diseqsConsistent() {
@@ -253,21 +261,42 @@ func (e *enumerator) extend(step int) error {
 }
 
 // candidates returns the row indices that could match the atom, using the
-// column index on the first bound position when available.
-func (e *enumerator) candidates(rel *db.Relation, at query.Atom) []int {
-	if !e.opts.NoIndex {
-		for col, a := range at.Args {
-			if a.Const {
-				return rel.RowsWith(col, a.Name)
-			}
-			if v, ok := e.binding[a.Name]; ok {
-				return rel.RowsWith(col, v)
-			}
+// column index on the first bound position when available, restricted to
+// the atom's row window when one is set.
+func (e *enumerator) candidates(atomIdx int, rel *db.Relation, at query.Atom) []int {
+	lo, hi := 0, rel.Len()
+	if e.ranges != nil {
+		r := e.ranges[atomIdx]
+		lo = r.lo
+		if r.hi >= 0 && r.hi < hi {
+			hi = r.hi
 		}
 	}
-	all := make([]int, rel.Len())
-	for i := range all {
-		all[i] = i
+	if !e.opts.NoIndex {
+		for col, a := range at.Args {
+			var rows []int
+			if a.Const {
+				rows = rel.RowsWith(col, a.Name)
+			} else if v, ok := e.binding[a.Name]; ok {
+				rows = rel.RowsWith(col, v)
+			} else {
+				continue
+			}
+			if lo == 0 && hi == rel.Len() {
+				return rows
+			}
+			in := make([]int, 0, len(rows))
+			for _, i := range rows {
+				if i >= lo && i < hi {
+					in = append(in, i)
+				}
+			}
+			return in
+		}
+	}
+	all := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		all = append(all, i)
 	}
 	return all
 }

@@ -389,6 +389,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		"version":          out.Version,
 		"class":            query.ClassOfUnion(u).String(),
 		"result_cache_hit": out.CacheHit,
+		"maintained_hit":   out.MaintainedHit,
 		"tuples":           resultOut(out.Result),
 	})
 	return nil
@@ -447,6 +448,7 @@ func (s *Server) serveCore(w http.ResponseWriter, r *http.Request, req coreReq) 
 		"version":          out.Version,
 		"cache_hit":        out.CacheHit,
 		"result_cache_hit": out.ResultCacheHit,
+		"maintained_hit":   out.MaintainedHit,
 		"minimized":        out.Minimized.String(),
 		"tuples":           resultOut(out.Result),
 	})

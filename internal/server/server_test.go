@@ -394,6 +394,7 @@ func TestResultCacheOverHTTP(t *testing.T) {
 	var out struct {
 		Version        uint64          `json:"version"`
 		ResultCacheHit bool            `json:"result_cache_hit"`
+		MaintainedHit  bool            `json:"maintained_hit"`
 		Tuples         json.RawMessage `json:"tuples"`
 	}
 	status, body := doJSON(t, "POST", ts.URL+"/query", q)
@@ -422,7 +423,9 @@ func TestResultCacheOverHTTP(t *testing.T) {
 		t.Fatalf("cached tuples differ from cold run:\ncold: %s\nhit:  %s", coldTuples, out.Tuples)
 	}
 
-	// Ingest invalidates: next query is a miss at the bumped generation.
+	// Ingest promotes the entry with delta maintenance: the next query is
+	// still a hit, at the bumped generation, flagged maintained — and its
+	// tuples reflect the inserted fact.
 	status, body = doJSON(t, "POST", ts.URL+"/instances/"+id+"/tuples", map[string]any{
 		"facts": []map[string]any{{"rel": "R", "tag": "r4", "values": []string{"b", "b"}}},
 	})
@@ -437,8 +440,12 @@ func TestResultCacheOverHTTP(t *testing.T) {
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.ResultCacheHit || out.Version != prevVer+1 {
-		t.Fatalf("query after ingest: hit=%t version %d -> %d: %s", out.ResultCacheHit, prevVer, out.Version, body)
+	if !out.ResultCacheHit || !out.MaintainedHit || out.Version != prevVer+1 {
+		t.Fatalf("query after ingest: hit=%t maintained=%t version %d -> %d: %s",
+			out.ResultCacheHit, out.MaintainedHit, prevVer, out.Version, body)
+	}
+	if !bytes.Contains(out.Tuples, []byte("r4")) {
+		t.Fatalf("maintained result does not reflect the inserted fact: %s", out.Tuples)
 	}
 
 	// /core reports both cache layers.
