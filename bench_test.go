@@ -44,7 +44,11 @@ func BenchmarkEvalTriangleRandomGraph(b *testing.B) {
 	}
 }
 
-// Evaluator ablation (DESIGN.md): greedy atom order + index vs naive.
+// Evaluator ablation (DESIGN.md): each arm toggles one layer of the
+// evaluation stack — interned vs string join keys, cardinality statistics
+// on/off, sequential vs parallel probe, hash vs nested-loop join. Arm
+// names use key=value segments so the bench pipeline's name handling
+// ('=' inside multiple '/' segments) stays exercised by the real suite.
 func BenchmarkEvalAblation(b *testing.B) {
 	d := db.NewInstance()
 	db.NewGenerator(2).RandomGraph(d, "R", 10, 40)
@@ -53,15 +57,43 @@ func BenchmarkEvalAblation(b *testing.B) {
 		name string
 		opts eval.Options
 	}{
-		{"hash-join", eval.Options{Join: eval.JoinHash}},
-		{"greedy+index", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderGreedy}},
-		{"as-written+index", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderAsWritten}},
-		{"greedy-noindex", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderGreedy, NoIndex: true}},
-		{"naive", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderAsWritten, NoIndex: true}},
+		{"join=hash/key=interned/par=seq", eval.Options{Join: eval.JoinHash}},
+		{"join=hash/key=interned/par=max", eval.Options{Join: eval.JoinHash, ParallelThreshold: 1}},
+		{"join=hash/key=interned/stats=off", eval.Options{Join: eval.JoinHash, NoStats: true}},
+		{"join=hash/key=string", eval.Options{Join: eval.JoinHash, NoIntern: true}},
+		{"join=nested-loop/order=greedy", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderGreedy}},
+		{"join=nested-loop/order=as-written", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderAsWritten}},
+		{"join=nested-loop/order=greedy/index=off", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderGreedy, NoIndex: true}},
+		{"join=nested-loop/order=as-written/index=off", eval.Options{Join: eval.JoinNestedLoop, Order: eval.OrderAsWritten, NoIndex: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := eval.EvalCQOpts(q, d, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Parallel hash-join at a size where fan-out pays: a triangle query over a
+// graph large enough that build/probe partitioning beats the sequential
+// scan. par=seq and par=max share the instance, so the delta is the
+// parallel machinery alone.
+func BenchmarkEvalParallelLargeGraph(b *testing.B) {
+	d := db.NewInstance()
+	db.NewGenerator(3).RandomGraph(d, "R", 60, 1800)
+	u := query.Single(workload.QHat)
+	for _, cfg := range []struct {
+		name string
+		opts eval.Options
+	}{
+		{"par=seq", eval.Options{Join: eval.JoinHash, Parallelism: 1}},
+		{"par=max", eval.Options{Join: eval.JoinHash, ParallelThreshold: 1}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.EvalUCQOpts(u, d, cfg.opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,9 +6,15 @@
 //	benchcheck -baseline bench/baseline.json -new bench/bench-<ts>.json \
 //	           [-max-regress 25] [-min-ns 100] [-strict]
 //
-// A benchmark counts as regressed when its new ns/op exceeds the baseline
-// by more than -max-regress percent AND the absolute slowdown is at least
-// -min-ns nanoseconds (so sub-100ns timer noise never trips the gate).
+// Both files may carry several samples per benchmark (bench.sh --count N,
+// or -cpu variants); same-name samples are reduced to their median before
+// comparison, so one noisy sample cannot trip the gate or skew a freshly
+// recorded baseline.
+//
+// A benchmark counts as regressed when its new median ns/op exceeds the
+// baseline by more than -max-regress percent AND the absolute slowdown is
+// at least -min-ns nanoseconds (so sub-100ns timer noise never trips the
+// gate).
 // Each comparison line also shows allocs/op next to ns/op — informational,
 // not gated: allocation-count changes are the usual early signal behind a
 // later ns/op regression, and surfacing them in the same output makes the
@@ -49,13 +55,12 @@ func load(path string) (map[string]entry, error) {
 	if err := json.Unmarshal(raw, &list); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]entry, len(list))
+	// Key on the trimmed name: the -N cpu suffix varies with the machine's
+	// GOMAXPROCS (and is absent entirely on 1-CPU hosts), so the full name
+	// would never match across baseline and CI runners.
+	samples := map[string][]entry{}
+	var order []string
 	for _, e := range list {
-		// Key on the trimmed name: the -N cpu suffix varies with the
-		// machine's GOMAXPROCS (and is absent entirely on 1-CPU hosts),
-		// so the full name would never match across baseline and CI
-		// runners. When -cpu produces several entries per name, keep the
-		// slowest so the gate compares worst cases.
 		key := e.Name
 		if key == "" {
 			key = e.Bench
@@ -63,11 +68,49 @@ func load(path string) (map[string]entry, error) {
 		if key == "" || e.NsOp == nil {
 			continue
 		}
-		if prev, ok := out[key]; !ok || *e.NsOp > *prev.NsOp {
-			out[key] = e
+		if _, seen := samples[key]; !seen {
+			order = append(order, key)
 		}
+		samples[key] = append(samples[key], e)
+	}
+	out := make(map[string]entry, len(samples))
+	for _, k := range order {
+		out[k] = aggregate(samples[k])
 	}
 	return out, nil
+}
+
+// aggregate reduces one benchmark's samples — several per name whenever
+// the run used -count N or -cpu — to their per-metric medians. A single
+// noisy sample (GC pause, CI neighbor) then cannot trip the gate or, worse,
+// inflate a freshly recorded baseline; a single sample passes through
+// unchanged, so -count 1 runs behave as before.
+func aggregate(ss []entry) entry {
+	e := ss[0]
+	e.NsOp = median(ss, func(s entry) *float64 { return s.NsOp })
+	e.BytesOp = median(ss, func(s entry) *float64 { return s.BytesOp })
+	e.AllocsOp = median(ss, func(s entry) *float64 { return s.AllocsOp })
+	return e
+}
+
+// median returns the median of the non-nil values of one metric (the mean
+// of the middle pair for even counts), or nil when no sample carries it.
+func median(ss []entry, metric func(entry) *float64) *float64 {
+	vals := make([]float64, 0, len(ss))
+	for _, s := range ss {
+		if v := metric(s); v != nil {
+			vals = append(vals, *v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	m := vals[len(vals)/2]
+	if len(vals)%2 == 0 {
+		m = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
+	}
+	return &m
 }
 
 func main() {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func writeJSON(t *testing.T, list []entry) string {
+	t.Helper()
+	raw, err := json.Marshal(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func f(v float64) *float64 { return &v }
+
+// TestLoadAggregatesMedians: multi-sample runs (--count N) must reduce to
+// the per-name median, not the first or slowest sample — the property that
+// makes the CI gate noise-robust.
+func TestLoadAggregatesMedians(t *testing.T) {
+	path := writeJSON(t, []entry{
+		{Name: "BenchmarkA", Bench: "BenchmarkA-8", NsOp: f(100), AllocsOp: f(10)},
+		{Name: "BenchmarkA", Bench: "BenchmarkA-8", NsOp: f(900), AllocsOp: f(10)}, // one noisy outlier
+		{Name: "BenchmarkA", Bench: "BenchmarkA-8", NsOp: f(110), AllocsOp: f(12)},
+		{Name: "BenchmarkB", Bench: "BenchmarkB-8", NsOp: f(50)},
+		{Name: "BenchmarkB", Bench: "BenchmarkB-8", NsOp: f(70)},
+		{Name: "", Bench: "BenchmarkKeyedByBench-8", NsOp: f(5)},
+		{Name: "BenchmarkNoNs", Bench: "BenchmarkNoNs-8"}, // skipped: no timing
+	})
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := *got["BenchmarkA"].NsOp; ns != 110 {
+		t.Errorf("odd-count median ns = %v, want 110 (outlier must not win)", ns)
+	}
+	if al := *got["BenchmarkA"].AllocsOp; al != 10 {
+		t.Errorf("median allocs = %v, want 10", al)
+	}
+	if ns := *got["BenchmarkB"].NsOp; ns != 60 {
+		t.Errorf("even-count median ns = %v, want 60 (mean of middle pair)", ns)
+	}
+	if _, ok := got["BenchmarkKeyedByBench-8"]; !ok {
+		t.Error("entry without a trimmed name must fall back to the bench key")
+	}
+	if _, ok := got["BenchmarkNoNs"]; ok {
+		t.Error("entry without ns/op must be skipped")
+	}
+}
+
+// TestEmitterParsesRealBenchOutput runs scripts/bench_emit.awk — the exact
+// program bench.sh uses — against a fixture of real `go test -bench`
+// output: sub-benchmark names with '=' inside multiple '/' segments,
+// repeated -count samples, a failed benchmark, a name that needs JSON
+// escaping, a 1-CPU host line without the -N suffix, and a line without
+// -benchmem columns.
+func TestEmitterParsesRealBenchOutput(t *testing.T) {
+	awk, err := exec.LookPath("awk")
+	if err != nil {
+		t.Skip("awk not installed")
+	}
+	out, err := exec.Command(awk, "-v", "stamp=TS1",
+		"-f", filepath.Join("..", "..", "scripts", "bench_emit.awk"),
+		filepath.Join("testdata", "bench_raw.txt")).Output()
+	if err != nil {
+		t.Fatalf("awk: %v\n%s", err, out)
+	}
+	var list []entry
+	if err := json.Unmarshal(out, &list); err != nil {
+		t.Fatalf("emitter produced invalid JSON: %v\n%s", err, out)
+	}
+	byBench := map[string]entry{}
+	names := map[string]int{}
+	for _, e := range list {
+		byBench[e.Bench] = e
+		names[e.Name]++
+	}
+	if len(list) != 9 {
+		t.Errorf("parsed %d entries, want 9 (3 triangle samples + 3 ablation arms + weird + 1-cpu + nomem)", len(list))
+	}
+	if names["BenchmarkEvalTriangleRandomGraph"] != 3 {
+		t.Errorf("triangle -count samples = %d, want 3", names["BenchmarkEvalTriangleRandomGraph"])
+	}
+	arm, ok := byBench["BenchmarkEvalAblation/join=hash/key=interned/par=seq-8"]
+	if !ok {
+		t.Fatalf("ablation arm with '=' in multiple '/' segments lost; got %v", names)
+	}
+	if arm.Name != "BenchmarkEvalAblation/join=hash/key=interned/par=seq" {
+		t.Errorf("trimmed name %q: only the -N cpu suffix may be cut", arm.Name)
+	}
+	if arm.NsOp == nil || *arm.NsOp != 1204500 || *arm.AllocsOp != 9031 || arm.Iters != 100 {
+		t.Errorf("ablation arm fields wrong: %+v", arm)
+	}
+	weird, ok := byBench[`BenchmarkWeird/q="a\x"-8`]
+	if !ok {
+		t.Fatalf("name needing JSON escapes lost; entries: %v", names)
+	}
+	if *weird.NsOp != 5000 {
+		t.Errorf("escaped-name entry ns = %v, want 5000", *weird.NsOp)
+	}
+	if e, ok := byBench["BenchmarkSingleCPUHost"]; !ok || e.Name != "BenchmarkSingleCPUHost" {
+		t.Error("1-CPU host line (no -N suffix) lost or mistrimmed")
+	}
+	if e, ok := byBench["BenchmarkNoMem-16"]; !ok || e.BytesOp != nil || *e.NsOp != 42000 {
+		t.Error("line without -benchmem columns must keep ns/op with null bytes/allocs")
+	}
+	if _, ok := names["BenchmarkFailedSetup"]; ok {
+		t.Error("failed benchmark (name-only line) must be skipped")
+	}
+	if ts := list[0].TS; ts != "TS1" {
+		t.Errorf("stamp %q not threaded through", ts)
+	}
+}

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	provmind [-addr :8411] [-workers N] [-cache 1024]
+//	         [-eval-intern=true] [-eval-stats=true] [-eval-parallel 0]
 //	         [-result-cache-size 128] [-result-cache-bytes 33554432]
 //	         [-result-cache-maintain=true]
 //	         [-batch 256] [-batch-wait 2ms] [-shards 8]
@@ -65,6 +66,7 @@ import (
 
 	"provmin/internal/cluster"
 	"provmin/internal/engine"
+	"provmin/internal/eval"
 	"provmin/internal/metrics"
 	"provmin/internal/persist"
 	"provmin/internal/server"
@@ -75,6 +77,9 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8411", "listen address")
 		workers       = flag.Int("workers", 0, "evaluation worker count (0 = GOMAXPROCS)")
+		evalIntern    = flag.Bool("eval-intern", true, "evaluate joins on interned symbol ids (false = string keys, the ablation baseline)")
+		evalStats     = flag.Bool("eval-stats", true, "order joins with cardinality statistics (false = size-based planner)")
+		evalParallel  = flag.Int("eval-parallel", 0, "parallel hash-join probe workers (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSize     = flag.Int("cache", 1024, "minimized-query LRU cache entries")
 		resCacheSize  = flag.Int("result-cache-size", 128, "result-cache entries per instance (0 disables result caching)")
 		resCacheBytes = flag.Int("result-cache-bytes", 32<<20, "approximate result-cache byte bound per instance (0 = entries-only bound)")
@@ -208,7 +213,12 @@ func main() {
 		resBytes = -1
 	}
 	cfg := engine.Config{
-		Workers:                  *workers,
+		Workers: *workers,
+		Eval: eval.Options{
+			NoIntern:    !*evalIntern,
+			NoStats:     !*evalStats,
+			Parallelism: *evalParallel,
+		},
 		CacheSize:                *cacheSize,
 		ResultCacheSize:          resSize,
 		ResultCacheBytes:         resBytes,

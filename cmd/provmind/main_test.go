@@ -164,6 +164,23 @@ func TestSIGKILLRecovery(t *testing.T) {
 	if !bytes.Equal(gotCore, wantCore) {
 		t.Errorf("/core not byte-identical across SIGKILL:\npre:  %s\npost: %s", wantCore, gotCore)
 	}
+	// The recovered symbol table must keep working, not just exist: a
+	// post-restart ingest re-interns old values ("n3", "a") and mints a new
+	// id, and the join below only finds (n3, n3) if the recovered ids and
+	// the fresh ones meet in one coherent table.
+	code, body = httpDo(t, "POST", url2+"/instances/i1/tuples",
+		`{"facts":[{"rel":"R","tag":"z1","values":["a","n3"]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("ingest after restart: %d %s", code, body)
+	}
+	code, res := httpDo(t, "POST", url2+"/query",
+		`{"instance":"i1","query":"ans(x) :- R(x,y), R(y,x)"}`)
+	if code != http.StatusOK {
+		t.Fatalf("query after restart: %d %s", code, res)
+	}
+	if !strings.Contains(string(res), "n3") {
+		t.Errorf("post-restart join through recovered symbols missed (n3,a)+(a,n3): %s", res)
+	}
 }
 
 // TestSIGKILLGenerationInterval covers -wal-sync interval under concurrent

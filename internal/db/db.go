@@ -56,15 +56,36 @@ type Relation struct {
 	rows  []Row
 	byKey map[string]int     // tuple key -> row index
 	index []map[string][]int // column index: index[col][value] -> row indices
-	// indexMu guards the lazy build and reads of index, making concurrent
-	// read-only use (RowsWith from parallel evaluations) safe. Mutating
-	// methods (Add, Delete) still require external exclusion.
+	// indexMu guards the lazy build and reads of index and idIndex, making
+	// concurrent read-only use (RowsWith / RowsWithID from parallel
+	// evaluations) safe. Mutating methods (Add, Delete) still require
+	// external exclusion.
 	indexMu sync.Mutex
+
+	// Interned image of the rows (relations created via an Instance only):
+	// ids holds each row's tuple as symbol ids, row-major with stride
+	// Arity, so the evaluator joins on fixed-width integers; idIndex is the
+	// per-column index keyed by id; sketches are the per-column distinct-
+	// count statistics. Standalone relations (NewRelation) carry none of
+	// this and evaluation falls back to string keys.
+	intern   *SymbolTable
+	ids      []uint32
+	idIndex  []map[uint32][]int
+	sketches []distinctSketch
 }
 
 // NewRelation creates an empty relation.
 func NewRelation(name string, arity int) *Relation {
 	return &Relation{Name: name, Arity: arity, byKey: map[string]int{}}
+}
+
+// newInternedRelation creates an empty relation wired to an instance's
+// symbol table.
+func newInternedRelation(name string, arity int, intern *SymbolTable) *Relation {
+	r := NewRelation(name, arity)
+	r.intern = intern
+	r.sketches = make([]distinctSketch, arity)
+	return r
 }
 
 // Add inserts a tagged tuple. Adding a tuple that already exists replaces
@@ -76,12 +97,20 @@ func (r *Relation) Add(tag string, values ...string) error {
 	}
 	t := Tuple(values).Clone()
 	if i, ok := r.byKey[t.Key()]; ok {
-		r.rows[i].Tag = tag
+		r.rows[i].Tag = tag // ids and sketches unchanged: same tuple
 		return nil
 	}
 	r.rows = append(r.rows, Row{Tuple: t, Tag: tag})
 	r.byKey[t.Key()] = len(r.rows) - 1
 	r.index = nil // invalidate
+	if r.intern != nil {
+		for c, v := range t {
+			id := r.intern.Intern(v)
+			r.ids = append(r.ids, id)
+			r.sketches[c].add(r.intern.Hash(id))
+		}
+		r.idIndex = nil
+	}
 	return nil
 }
 
@@ -106,6 +135,13 @@ func (r *Relation) Delete(values ...string) bool {
 		r.byKey[r.rows[j].Tuple.Key()] = j
 	}
 	r.index = nil
+	if r.intern != nil {
+		// Splice the row's interned image so ids stays row-aligned. The
+		// sketches are monotone and keep counting the deleted value — an
+		// upper bound is fine for planning (see stats.go).
+		r.ids = append(r.ids[:i*r.Arity], r.ids[(i+1)*r.Arity:]...)
+		r.idIndex = nil
+	}
 	return true
 }
 
@@ -157,6 +193,43 @@ func (r *Relation) RowsWith(col int, val string) []int {
 	return rows
 }
 
+// Interned reports whether the relation carries an interned image of its
+// rows (relations created through an Instance always do).
+func (r *Relation) Interned() bool { return r.intern != nil }
+
+// RowIDs returns row i's tuple as symbol ids (stride-Arity view into the
+// relation's interned storage). Only valid when Interned; the slice must
+// not be modified.
+func (r *Relation) RowIDs(i int) []uint32 {
+	return r.ids[i*r.Arity : (i+1)*r.Arity]
+}
+
+// RowsWithID is RowsWith on the interned image: the indices of rows whose
+// column col holds the value with symbol id. The lazy build shares indexMu
+// with the string index, so concurrent read-only evaluations are safe.
+func (r *Relation) RowsWithID(col int, id uint32) []int {
+	if r.intern == nil || col < 0 || col >= r.Arity {
+		return nil
+	}
+	r.indexMu.Lock()
+	if r.idIndex == nil {
+		idx := make([]map[uint32][]int, r.Arity)
+		for c := 0; c < r.Arity; c++ {
+			idx[c] = map[uint32][]int{}
+		}
+		for i := 0; i < len(r.rows); i++ {
+			row := r.ids[i*r.Arity : (i+1)*r.Arity]
+			for c, v := range row {
+				idx[c][v] = append(idx[c][v], i)
+			}
+		}
+		r.idIndex = idx
+	}
+	rows := r.idIndex[col][id]
+	r.indexMu.Unlock()
+	return rows
+}
+
 // Clone returns a deep copy of the relation.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.Name, r.Arity)
@@ -166,15 +239,17 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
-// Instance is a database instance: a set of annotated relations.
+// Instance is a database instance: a set of annotated relations sharing one
+// symbol table.
 type Instance struct {
-	rels  map[string]*Relation
-	order []string // relation names in creation order
+	rels    map[string]*Relation
+	order   []string // relation names in creation order
+	symbols *SymbolTable
 }
 
 // NewInstance creates an empty instance.
 func NewInstance() *Instance {
-	return &Instance{rels: map[string]*Relation{}}
+	return &Instance{rels: map[string]*Relation{}, symbols: NewSymbolTable()}
 }
 
 // Relation returns the named relation, creating it with the given arity on
@@ -187,7 +262,7 @@ func (d *Instance) Relation(name string, arity int) (*Relation, error) {
 		}
 		return r, nil
 	}
-	r := NewRelation(name, arity)
+	r := newInternedRelation(name, arity, d.symbols)
 	d.rels[name] = r
 	d.order = append(d.order, name)
 	return r, nil

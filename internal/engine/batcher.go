@@ -194,9 +194,11 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 		created := map[string]int{}
 		overwrite := false
 		var plan []maintainTask
+		var newSymbols int
 		apply := func(seq uint64) {
 			applied = true
 			b.inst.mu.Lock()
+			symsBefore := b.inst.db.Symbols().Len()
 			for _, f := range facts {
 				if _, seen := oldLen[f.Rel]; !seen {
 					if rel := b.inst.db.Lookup(f.Rel); rel != nil {
@@ -234,6 +236,7 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 			} else {
 				plan = b.inst.results.planMaintenance(gen-1, created)
 			}
+			newSymbols = b.inst.db.Symbols().Len() - symsBefore
 			b.inst.mu.Unlock()
 		}
 		if log := b.eng.log; log != nil {
@@ -258,6 +261,12 @@ func (b *ingestBatcher) flush(batch []*ingestReq) {
 		}
 		if applied {
 			b.eng.noteInstanceBytes(b.inst.id, delta, newBytes)
+			if newSymbols > 0 {
+				// Distinct values interned (and sketch updates absorbed) by
+				// ingest, across all instances — the growth side of the
+				// cardinality statistics the join planner reads.
+				b.eng.reg.Counter("engine_interned_symbols_total").Add(int64(newSymbols))
+			}
 			if len(plan) > 0 {
 				b.maintain(plan, gen, oldLen)
 			}
@@ -286,7 +295,7 @@ func (b *ingestBatcher) maintain(plan []maintainTask, gen uint64, oldLen map[str
 	defer b.inst.mu.RUnlock()
 	for _, task := range plan {
 		start := time.Now()
-		delta, err := eval.EvalUCQDelta(task.u, b.inst.db, oldLen)
+		delta, err := eval.EvalUCQDeltaOpts(task.u, b.inst.db, oldLen, b.eng.cfg.Eval)
 		if err != nil {
 			// planMaintenance filters every known-failing shape; anything
 			// that still errors is dropped rather than promoted wrongly.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"provmin/internal/eval"
 	"provmin/internal/persist"
 	"provmin/internal/query"
 )
@@ -408,5 +409,99 @@ func TestDurableIngestConcurrent(t *testing.T) {
 	}
 	if total != writers*per {
 		t.Errorf("recovered %d tuples, want %d", total, writers*per)
+	}
+}
+
+// TestSymbolTableSurvivesRecovery: interned symbol ids are part of durable
+// state (snapshot envelopes carry the table, WAL replay re-interns in
+// apply order), so a recovered instance must answer interned-key queries
+// byte-identically to string-key evaluation, and every stored row id must
+// still resolve to the value the writer interned — across the snapshot,
+// the compacted-WAL suffix, and a post-recovery ingest.
+func TestSymbolTableSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e := durableEngine(t, dir, 4)
+	id := mustCreate(t, e, paperInstance)
+	// Values with empty strings and separator bytes: the symbols that make
+	// naive serialization or rebuilding go wrong first.
+	if err := e.Ingest(id, []Fact{
+		{Rel: "R", Tag: "r4", Values: []string{"b", ""}},
+		{Rel: "R", Tag: "r5", Values: []string{"a\x1f", "b"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot + compact: recovery below must seed symbols from the
+	// envelope, not rebuild them from replayed WAL records.
+	if _, err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot suffix: replay must extend the seeded table.
+	if err := e.Ingest(id, []Fact{{Rel: "R", Tag: "r6", Values: []string{"", "c"}}}); err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustParseUnion("ans(x,y) :- R(x,y), R(y,x); ans(x,x) :- R(x,'')")
+	want, _ := coreString(t, e, id, "ans(x) :- R(x,y), R(y,x)")
+	wantQ, err := e.Query(context.Background(), id, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandon e: no Close, no flush — the process "dies" here.
+
+	e2 := durableEngine(t, dir, 4)
+	defer e2.Close()
+	got, _ := coreString(t, e2, id, "ans(x) :- R(x,y), R(y,x)")
+	if got != want {
+		t.Errorf("recovered core diverges:\n%s\nvs\n%s", got, want)
+	}
+	gotQ, err := e2.Query(context.Background(), id, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotQ.Result.String() != wantQ.Result.String() {
+		t.Errorf("recovered query diverges:\n%s\nvs\n%s", gotQ.Result, wantQ.Result)
+	}
+
+	in, err := e2.lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.mu.RLock()
+	// Every stored id must resolve back to the value it was interned from,
+	// and interned vs string-key evaluation must agree on the recovered db.
+	for _, rel := range in.db.Relations() {
+		for i, row := range rel.Rows() {
+			for c, v := range row.Tuple {
+				if got := in.db.Symbols().Value(rel.RowIDs(i)[c]); got != v {
+					t.Fatalf("%s row %d col %d: recovered id resolves to %q want %q",
+						rel.Name, i, c, got, v)
+				}
+			}
+		}
+	}
+	interned, err := eval.EvalUCQOpts(q, in.db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strKeys, err := eval.EvalUCQOpts(q, in.db, eval.Options{NoIntern: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.mu.RUnlock()
+	if interned.String() != strKeys.String() {
+		t.Errorf("interned eval diverges from string eval on recovered instance:\n%s\nvs\n%s",
+			interned, strKeys)
+	}
+
+	// The recovered table keeps interning: new values get fresh ids, old
+	// values their existing ones.
+	if err := e2.Ingest(id, []Fact{{Rel: "R", Tag: "r7", Values: []string{"c", "zz"}}}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := e2.Query(context.Background(), id, query.MustParseUnion("ans(x) :- R('', x), R(x, 'zz')"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Result.Len() != 1 {
+		t.Errorf("post-recovery ingest not joinable through recovered symbols:\n%s", got2.Result)
 	}
 }

@@ -47,6 +47,11 @@ import (
 type Config struct {
 	// Workers is the evaluation worker-pool size (default GOMAXPROCS).
 	Workers int
+	// Eval configures the evaluator for every query, core computation and
+	// delta maintenance run: join strategy, interning and statistics
+	// ablation switches, and intra-join parallelism. The zero value is the
+	// full stack (interned keys, cost-based planning, parallel probes).
+	Eval eval.Options
 	// CacheSize is the LRU capacity of the minimized-query cache
 	// (default 1024 entries).
 	CacheSize int
@@ -840,7 +845,7 @@ func (e *Engine) evalCached(in *instance, u *query.UCQ) (res *eval.Result, gen u
 		return res, gen, true, maintained, nil
 	}
 	start := time.Now()
-	res, err = eval.EvalUCQ(u, in.db)
+	res, err = eval.EvalUCQOpts(u, in.db, e.cfg.Eval)
 	if err != nil {
 		return nil, gen, false, false, err
 	}
@@ -1097,7 +1102,7 @@ func (e *Engine) CoreDirect(ctx context.Context, id string, u *query.UCQ) (*eval
 	v, err := e.run(ctx, func() (any, error) {
 		in.mu.RLock()
 		defer in.mu.RUnlock()
-		res, err := eval.EvalUCQ(u, in.db)
+		res, err := eval.EvalUCQOpts(u, in.db, e.cfg.Eval)
 		if err != nil {
 			return nil, err
 		}

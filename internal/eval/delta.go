@@ -31,9 +31,17 @@ import (
 // more inserted rows.) Disequalities only filter assignments and never
 // depend on the instance, so they pass through the partition unchanged.
 func EvalUCQDelta(u *query.UCQ, d *db.Instance, oldLen map[string]int) (*Result, error) {
+	return EvalUCQDeltaOpts(u, d, oldLen, Options{})
+}
+
+// EvalUCQDeltaOpts is EvalUCQDelta with explicit evaluation options: the
+// delta windows run on the interned enumerator when the instance carries
+// symbol ids, with opts.NoIntern forcing the string enumerator for the
+// differential tests.
+func EvalUCQDeltaOpts(u *query.UCQ, d *db.Instance, oldLen map[string]int, opts Options) (*Result, error) {
 	res := newResult()
 	for _, q := range u.Adjuncts {
-		if err := deltaCQInto(res, q, d, oldLen); err != nil {
+		if err := deltaCQInto(res, q, d, oldLen, opts); err != nil {
 			return nil, err
 		}
 	}
@@ -41,10 +49,11 @@ func EvalUCQDelta(u *query.UCQ, d *db.Instance, oldLen map[string]int) (*Result,
 	return res, nil
 }
 
-func deltaCQInto(res *Result, q *query.CQ, d *db.Instance, oldLen map[string]int) error {
+func deltaCQInto(res *Result, q *query.CQ, d *db.Instance, oldLen map[string]int, opts Options) error {
 	if err := validateCQ(q, d); err != nil {
 		return err
 	}
+	interned := !opts.NoIntern && !opts.NoIndex && internedAvailable(q, d)
 	for i, at := range q.Atoms {
 		lo, touched := oldLen[at.Rel]
 		if !touched {
@@ -73,6 +82,12 @@ func deltaCQInto(res *Result, q *query.CQ, d *db.Instance, oldLen map[string]int
 		// start enumeration there and let the greedy order arrange the rest
 		// around its bindings; the general planner would order by relation
 		// size and bury the most selective atom.
+		if interned {
+			if err := internedEnumEval(res, q, d, deltaAtomOrder(q, i), ranges); err != nil {
+				return err
+			}
+			continue
+		}
 		e := &enumerator{q: q, d: d, order: deltaAtomOrder(q, i), ranges: ranges,
 			fn: func(a Assignment) error {
 				res.add(headTuple(q, a.Binding), semiring.FromMonomial(assignmentMonomial(q, d, a), 1))

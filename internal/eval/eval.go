@@ -53,6 +53,20 @@ type Options struct {
 	Join    JoinStrategy
 	Order   AtomOrder // nested-loop only: atom-order heuristic
 	NoIndex bool      // nested-loop only: disable the per-column index
+	// NoIntern disables the interned (symbol-id) evaluator and keeps join
+	// keys as strings — the ablation baseline for the interning step.
+	NoIntern bool
+	// NoStats disables the cardinality-statistics join planner; the hash
+	// join falls back to the size-based selectivity order.
+	NoStats bool
+	// Parallelism bounds the worker count of the parallel hash-join probe:
+	// 1 evaluates sequentially (the ablation baseline), 0 or below means
+	// GOMAXPROCS. Only joins past ParallelThreshold fan out at all.
+	Parallelism int
+	// ParallelThreshold is the minimum number of partial assignments a join
+	// step must carry before its probe is split across workers; 0 selects
+	// the built-in default. Exposed so tests can force tiny joins parallel.
+	ParallelThreshold int
 }
 
 // Assignment is a satisfying assignment of a query's relational atoms to
@@ -79,11 +93,22 @@ func EvalCQOpts(q *query.CQ, d *db.Instance, opts Options) (*Result, error) {
 }
 
 // evalCQInto accumulates one adjunct's assignments into res with the
-// configured join strategy. Both strategies contribute the same
-// (tuple, monomial) multiset, so results are identical either way.
+// configured join strategy. Every strategy contributes the same
+// (tuple, monomial) multiset, so results are identical across all of them;
+// the interned paths are preferred whenever the instance carries symbol
+// ids, with NoIntern forcing the string-keyed originals for ablation.
 func evalCQInto(res *Result, q *query.CQ, d *db.Instance, opts Options) error {
+	interned := !opts.NoIntern && internedAvailable(q, d)
 	if opts.Join == JoinHash && len(q.Atoms) >= hashJoinMinAtoms {
-		return hashEvalCQ(res, q, d)
+		if interned {
+			return hashEvalCQInterned(res, q, d, opts)
+		}
+		return hashEvalCQ(res, q, d, opts)
+	}
+	if opts.Join == JoinHash && interned && !opts.NoIndex {
+		// Small conjunct under the hash strategy: the tuple-at-a-time
+		// enumerator wins, and its interned twin wins harder.
+		return internedEnumEval(res, q, d, atomOrder(q, opts.Order), nil)
 	}
 	return ForEachAssignment(q, d, opts, func(a Assignment) error {
 		t := headTuple(q, a.Binding)

@@ -20,7 +20,7 @@ import (
 
 // hashEvalCQ evaluates one conjunctive query set-at-a-time and accumulates
 // every satisfying assignment's head tuple and monomial into res.
-func hashEvalCQ(res *Result, q *query.CQ, d *db.Instance) error {
+func hashEvalCQ(res *Result, q *query.CQ, d *db.Instance, opts Options) error {
 	if err := validateCQ(q, d); err != nil {
 		return err
 	}
@@ -37,7 +37,7 @@ func hashEvalCQ(res *Result, q *query.CQ, d *db.Instance) error {
 		res.add(headTuple(q, nil), semiring.FromMonomial(semiring.One, 1))
 		return nil
 	}
-	e := &hashEval{q: q, d: d, order: planOrder(q, d), varAt: map[string]varRef{}}
+	e := &hashEval{q: q, d: d, order: planAtomOrder(q, d, opts), varAt: map[string]varRef{}}
 	return e.run(res)
 }
 
@@ -227,6 +227,101 @@ func candidateRows(rel *db.Relation, at query.Atom) []int {
 		all[i] = i
 	}
 	return all
+}
+
+// planAtomOrder picks the join order for a hash evaluation: the
+// cardinality-statistics planner when the instance carries distinct-count
+// sketches and stats are not ablated away, otherwise the original
+// size-based selectivity order.
+func planAtomOrder(q *query.CQ, d *db.Instance, opts Options) []int {
+	if !opts.NoStats {
+		if order, ok := planOrderCost(q, d); ok {
+			return order
+		}
+	}
+	return planOrder(q, d)
+}
+
+// planOrderCost is the cost-based planner: it greedily grows the join
+// prefix by the atom minimizing the estimated intermediate cardinality
+//
+//	card' = card × rows(atom) / Π over bound join columns max(1, distinct(col))
+//
+// with per-column distinct counts taken from the relations' HyperLogLog
+// sketches. The size-based planner treats a join through a 2-distinct
+// column and one through a key column identically; the division above is
+// exactly what tells them apart. Atoms sharing a bound variable are still
+// preferred over cross products regardless of estimate, and ties keep body
+// order, so plans stay deterministic. Returns ok=false when some touched
+// relation carries no statistics (a standalone relation outside any
+// instance); the caller then falls back to planOrder.
+func planOrderCost(q *query.CQ, d *db.Instance) ([]int, bool) {
+	n := len(q.Atoms)
+	base := make([]float64, n)
+	rels := make([]*db.Relation, n)
+	for i, at := range q.Atoms {
+		rel := d.Lookup(at.Rel)
+		rels[i] = rel
+		if rel == nil {
+			continue // base 0: scheduled first, terminates evaluation at once
+		}
+		if !rel.Interned() {
+			return nil, false
+		}
+		e := float64(rel.Len())
+		for col, a := range at.Args {
+			if a.Const {
+				if c := float64(len(rel.RowsWith(col, a.Name))); c < e {
+					e = c
+				}
+			}
+		}
+		base[i] = e
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	card := 1.0
+	for len(order) < n {
+		best, bestShares := -1, false
+		bestCard := 0.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			sel := 1.0
+			shares := false
+			if rels[i] != nil {
+				for col, a := range q.Atoms[i].Args {
+					if a.Const || !bound[a.Name] {
+						continue
+					}
+					shares = true
+					if dist, ok := rels[i].DistinctEstimate(col); ok && dist > 1 {
+						sel /= dist
+					}
+				}
+			}
+			cand := card * base[i] * sel
+			switch {
+			case best == -1,
+				shares && !bestShares,
+				shares == bestShares && cand < bestCard:
+				best, bestShares, bestCard = i, shares, cand
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		if card = bestCard; card < 1 {
+			card = 1
+		}
+		for _, a := range q.Atoms[best].Args {
+			if !a.Const {
+				bound[a.Name] = true
+			}
+		}
+	}
+	return order, true
 }
 
 // planOrder is the selectivity planner: every atom's cardinality is

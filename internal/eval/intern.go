@@ -1,0 +1,323 @@
+package eval
+
+import (
+	"provmin/internal/db"
+	"provmin/internal/query"
+	"provmin/internal/semiring"
+)
+
+// This file is the interned face of the evaluator: queries are compiled
+// against the instance's symbol table so that every domain value is a dense
+// uint32 id, bindings are flat []uint32 slices indexed by a per-query
+// variable number, and equality checks are single integer compares instead
+// of string compares. Both the interned enumerator below and the interned
+// hash join (hashjoin_intern.go) start from this compiled form. Results are
+// resolved back to strings only at emission, so outputs are byte-identical
+// to the string-keyed evaluator's — the differential suite in
+// intern_test.go pins that equivalence.
+
+// iArg is one compiled atom (or disequality/head) argument.
+type iArg struct {
+	isConst bool
+	val     uint32 // const: symbol id; invalidID = value stored nowhere
+	v       int    // var: dense per-query variable index
+}
+
+// invalidID mirrors db's reserved symbol id 0 ("no such value" / "unbound").
+const invalidID uint32 = 0
+
+// iAtom is one compiled body atom.
+type iAtom struct {
+	rel  *db.Relation // nil: relation absent from the instance
+	args []iArg
+}
+
+// compiledCQ is a conjunctive query bound to one instance's symbol table.
+type compiledCQ struct {
+	q      *query.CQ
+	d      *db.Instance
+	syms   *db.SymbolTable
+	atoms  []iAtom
+	diseqs [][2]iArg // var/const sides; statically-true pairs dropped
+	head   []iArg
+	nvars  int
+	// unsat: a constant-constant disequality with equal sides makes every
+	// assignment invalid (the same static check the string paths apply).
+	unsat bool
+	// empty: some atom can match no row (absent/empty relation, or a
+	// constant the instance has never stored), so there are no assignments.
+	empty bool
+}
+
+// internedAvailable reports whether every relation the query touches
+// carries an interned image — true for every relation created through an
+// Instance, false only for standalone db.NewRelation use, which cannot
+// occur inside an instance. Checked per-relation anyway so the evaluator
+// degrades to string keys instead of panicking if that invariant ever
+// changes.
+func internedAvailable(q *query.CQ, d *db.Instance) bool {
+	for _, at := range q.Atoms {
+		if rel := d.Lookup(at.Rel); rel != nil && !rel.Interned() {
+			return false
+		}
+	}
+	return true
+}
+
+// compileCQ validates q and lowers it onto d's symbol table. Variable
+// indices are assigned in first-occurrence order over the body atoms.
+func compileCQ(q *query.CQ, d *db.Instance) (*compiledCQ, error) {
+	if err := validateCQ(q, d); err != nil {
+		return nil, err
+	}
+	c := &compiledCQ{q: q, d: d, syms: d.Symbols()}
+	varIdx := map[string]int{}
+	arg := func(a query.Arg) iArg {
+		if a.Const {
+			id, _ := c.syms.Lookup(a.Name) // miss: invalidID
+			return iArg{isConst: true, val: id}
+		}
+		i, ok := varIdx[a.Name]
+		if !ok {
+			i = c.nvars
+			varIdx[a.Name] = i
+			c.nvars++
+		}
+		return iArg{v: i}
+	}
+	for _, at := range q.Atoms {
+		ia := iAtom{rel: d.Lookup(at.Rel), args: make([]iArg, len(at.Args))}
+		for i, a := range at.Args {
+			ia.args[i] = arg(a)
+			if ia.args[i].isConst && ia.args[i].val == invalidID {
+				c.empty = true // constant stored nowhere: atom matches no row
+			}
+		}
+		if ia.rel == nil || ia.rel.Len() == 0 {
+			c.empty = true
+		}
+		c.atoms = append(c.atoms, ia)
+	}
+	for _, dq := range q.Diseqs {
+		if dq.Left.Const && dq.Right.Const {
+			if dq.Left.Name == dq.Right.Name {
+				c.unsat = true
+			}
+			continue // unequal constants always hold: drop
+		}
+		c.diseqs = append(c.diseqs, [2]iArg{arg(dq.Left), arg(dq.Right)})
+	}
+	c.head = make([]iArg, len(q.Head.Args))
+	for i, a := range q.Head.Args {
+		if a.Const {
+			// Head constants are echoed from the query text, not resolved
+			// through the table — keep them as variables-free markers; the
+			// emitters read q.Head.Args[i].Name directly.
+			c.head[i] = iArg{isConst: true}
+		} else {
+			c.head[i] = iArg{v: varIdx[a.Name]}
+		}
+	}
+	return c, nil
+}
+
+// diseqHolds evaluates one compiled disequality under a (possibly partial)
+// binding; decided reports whether both sides have values. Const-const
+// pairs were decided at compile time and never reach here, so at most one
+// side is an uninterned constant (invalidID), which can never equal a
+// bound variable's id — every binding value is a stored symbol.
+func (c *compiledCQ) diseqHolds(dq [2]iArg, binding []uint32) (holds, decided bool) {
+	var l, r uint32
+	if dq[0].isConst {
+		l = dq[0].val
+	} else if l = binding[dq[0].v]; l == invalidID {
+		return true, false
+	}
+	if dq[1].isConst {
+		r = dq[1].val
+	} else if r = binding[dq[1].v]; r == invalidID {
+		return true, false
+	}
+	return l != r || l == invalidID, true
+}
+
+// headTuple materializes the head under a full binding.
+func (c *compiledCQ) headTuple(binding []uint32) db.Tuple {
+	out := make(db.Tuple, len(c.head))
+	for i, a := range c.head {
+		if a.isConst {
+			out[i] = c.q.Head.Args[i].Name
+		} else {
+			out[i] = c.syms.Value(binding[a.v])
+		}
+	}
+	return out
+}
+
+// monomial computes the annotation product of the rows an assignment uses.
+func (c *compiledCQ) monomial(rows []int) semiring.Monomial {
+	tags := make([]string, 0, len(c.atoms))
+	for i, at := range c.atoms {
+		tags = append(tags, at.rel.Rows()[rows[i]].Tag)
+	}
+	return semiring.NewMonomial(tags...)
+}
+
+// iEnum is the interned twin of the string enumerator in eval.go: the same
+// backtracking search over the same atom order with the same index-probe
+// candidate selection, operating on symbol ids. It exists so the hot
+// tuple-at-a-time paths — small conjuncts and, above all, the delta
+// maintainer's windowed enumeration — run on integer compares too.
+type iEnum struct {
+	c       *compiledCQ
+	order   []int
+	ranges  []rowRange // per atom index; nil = unrestricted
+	binding []uint32   // var index -> symbol id; invalidID = unbound
+	rows    []int
+	fn      func(rows []int, binding []uint32) error
+}
+
+func (e *iEnum) extend(step int) error {
+	c := e.c
+	if step == len(e.order) {
+		for _, dq := range c.diseqs {
+			if holds, _ := c.diseqHolds(dq, e.binding); !holds {
+				return nil
+			}
+		}
+		return e.fn(e.rows, e.binding)
+	}
+	atomIdx := e.order[step]
+	at := c.atoms[atomIdx]
+	for _, rowIdx := range e.candidates(atomIdx, at) {
+		row := at.rel.RowIDs(rowIdx)
+		newly, ok := e.tryBind(at, row)
+		if ok && e.diseqsConsistent() {
+			e.rows[atomIdx] = rowIdx
+			if err := e.extend(step + 1); err != nil {
+				return err
+			}
+		}
+		for _, v := range newly {
+			e.binding[v] = invalidID
+		}
+	}
+	return nil
+}
+
+// candidates mirrors enumerator.candidates: probe the per-column id index
+// on the first decided argument, restricted to the atom's row window.
+func (e *iEnum) candidates(atomIdx int, at iAtom) []int {
+	rel := at.rel
+	lo, hi := 0, rel.Len()
+	if e.ranges != nil {
+		r := e.ranges[atomIdx]
+		lo = r.lo
+		if r.hi >= 0 && r.hi < hi {
+			hi = r.hi
+		}
+	}
+	for col, a := range at.args {
+		var id uint32
+		if a.isConst {
+			id = a.val
+		} else if id = e.binding[a.v]; id == invalidID {
+			continue
+		}
+		rows := rel.RowsWithID(col, id)
+		if lo == 0 && hi == rel.Len() {
+			return rows
+		}
+		in := make([]int, 0, len(rows))
+		for _, i := range rows {
+			if i >= lo && i < hi {
+				in = append(in, i)
+			}
+		}
+		return in
+	}
+	all := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		all = append(all, i)
+	}
+	return all
+}
+
+// tryBind unifies the atom's arguments with the row ids, extending the
+// binding; newly holds the var indices bound here, for rollback.
+func (e *iEnum) tryBind(at iAtom, row []uint32) (newly []int, ok bool) {
+	for i, a := range at.args {
+		if a.isConst {
+			if a.val != row[i] {
+				e.rollback(newly)
+				return nil, false
+			}
+			continue
+		}
+		if v := e.binding[a.v]; v != invalidID {
+			if v != row[i] {
+				e.rollback(newly)
+				return nil, false
+			}
+			continue
+		}
+		e.binding[a.v] = row[i]
+		newly = append(newly, a.v)
+	}
+	return newly, true
+}
+
+func (e *iEnum) rollback(newly []int) {
+	for _, v := range newly {
+		e.binding[v] = invalidID
+	}
+}
+
+// diseqsConsistent prunes on disequalities whose sides are both decided.
+func (e *iEnum) diseqsConsistent() bool {
+	for _, dq := range e.c.diseqs {
+		if holds, decided := e.c.diseqHolds(dq, e.binding); decided && !holds {
+			return false
+		}
+	}
+	return true
+}
+
+// internedEnumEval accumulates every satisfying assignment of q into res
+// with the interned enumerator, optionally restricted to per-atom row
+// windows (the delta maintainer's partition). order is the atom order to
+// search in (the same order functions both enumerators share); a nil order
+// selects the greedy default.
+func internedEnumEval(res *Result, q *query.CQ, d *db.Instance, order []int, ranges []rowRange) error {
+	c, err := compileCQ(q, d)
+	if err != nil {
+		return err
+	}
+	if c.unsat {
+		return nil
+	}
+	if len(c.atoms) == 0 {
+		// Exactly the empty assignment, annotated with the unit 1 — same
+		// as both string paths.
+		res.add(c.headTuple(nil), semiring.FromMonomial(semiring.One, 1))
+		return nil
+	}
+	if c.empty {
+		return nil
+	}
+	if order == nil {
+		order = atomOrder(q, OrderGreedy)
+	}
+	e := &iEnum{
+		c:       c,
+		order:   order,
+		ranges:  ranges,
+		binding: make([]uint32, c.nvars),
+		rows:    make([]int, len(c.atoms)),
+		fn: func(rows []int, binding []uint32) error {
+			res.add(c.headTuple(binding), semiring.FromMonomial(c.monomial(rows), 1))
+			return nil
+		},
+	}
+	return e.extend(0)
+}

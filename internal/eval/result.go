@@ -1,7 +1,7 @@
 package eval
 
 import (
-	"sort"
+	"slices"
 	"strings"
 
 	"provmin/internal/db"
@@ -16,9 +16,17 @@ type OutTuple struct {
 
 // Result is an annotated query result: a set of tuples, each with its
 // provenance polynomial, in canonical (sorted) order.
+//
+// While a result is being built, repeated contributions to one tuple are
+// buffered as raw monomial terms (pend) and merged into the canonical
+// polynomial once, at finish time. Merging per Add would copy the whole
+// polynomial each time — quadratic in the number of witnesses per tuple,
+// and the dominant cost of evaluating cyclic queries on dense graphs.
 type Result struct {
 	tuples []OutTuple
+	keys   []string // tuples[i].Tuple.Key(), computed once per tuple
 	byKey  map[string]int
+	pend   [][]semiring.MonomialTerm // unmerged contributions, parallel to tuples
 }
 
 func newResult() *Result { return &Result{byKey: map[string]int{}} }
@@ -35,22 +43,80 @@ func (r *Result) Add(t db.Tuple, p semiring.Polynomial) { r.add(t, p) }
 func (r *Result) Finish() { r.finish() }
 
 func (r *Result) add(t db.Tuple, p semiring.Polynomial) {
-	if i, ok := r.byKey[t.Key()]; ok {
-		r.tuples[i].Prov = r.tuples[i].Prov.Add(p)
+	k := t.Key()
+	if i, ok := r.byKey[k]; ok {
+		r.pend[i] = append(r.pend[i], p.Terms()...)
 		return
 	}
-	r.byKey[t.Key()] = len(r.tuples)
+	r.byKey[k] = len(r.tuples)
 	r.tuples = append(r.tuples, OutTuple{Tuple: t.Clone(), Prov: p})
+	r.keys = append(r.keys, k)
+	r.pend = append(r.pend, nil)
 }
 
-// finish puts tuples in canonical order for deterministic output.
-func (r *Result) finish() {
-	sort.Slice(r.tuples, func(i, j int) bool {
-		return r.tuples[i].Tuple.Key() < r.tuples[j].Tuple.Key()
-	})
-	for i, t := range r.tuples {
-		r.byKey[t.Tuple.Key()] = i
+// addWitness accumulates one assignment's monomial onto tuple t without
+// first wrapping it in a single-term polynomial — the emit hot path.
+func (r *Result) addWitness(t db.Tuple, m semiring.Monomial) {
+	k := t.Key()
+	if i, ok := r.byKey[k]; ok {
+		r.pend[i] = append(r.pend[i], semiring.MonomialTerm{Monomial: m, Coef: 1})
+		return
 	}
+	r.byKey[k] = len(r.tuples)
+	r.tuples = append(r.tuples, OutTuple{Tuple: t.Clone(), Prov: semiring.FromMonomial(m, 1)})
+	r.keys = append(r.keys, k)
+	r.pend = append(r.pend, nil)
+}
+
+// flush merges tuple i's buffered contributions into its polynomial.
+func (r *Result) flush(i int) {
+	if i >= len(r.pend) || len(r.pend[i]) == 0 {
+		return
+	}
+	r.tuples[i].Prov = r.tuples[i].Prov.AddTerms(r.pend[i])
+	r.pend[i] = nil
+}
+
+// merge folds every tuple of o — buffered contributions included — into r.
+// Used to combine per-worker partial results after a parallel emit; o must
+// not be used afterwards (r takes over its tuples and buffers).
+func (r *Result) merge(o *Result) {
+	for i, ot := range o.tuples {
+		k := o.keys[i]
+		if j, ok := r.byKey[k]; ok {
+			r.pend[j] = append(r.pend[j], ot.Prov.Terms()...)
+			r.pend[j] = append(r.pend[j], o.pend[i]...)
+			continue
+		}
+		r.byKey[k] = len(r.tuples)
+		r.tuples = append(r.tuples, ot)
+		r.keys = append(r.keys, k)
+		r.pend = append(r.pend, o.pend[i])
+	}
+}
+
+// finish puts tuples in canonical order for deterministic output. Sorting
+// goes through a permutation over the cached keys, so Tuple.Key (which
+// joins the tuple's values into a fresh string) is never re-derived in the
+// comparator.
+func (r *Result) finish() {
+	for i := range r.tuples {
+		r.flush(i)
+	}
+	perm := make([]int, len(r.tuples))
+	for i := range perm {
+		perm[i] = i
+	}
+	slices.SortFunc(perm, func(a, b int) int { return strings.Compare(r.keys[a], r.keys[b]) })
+	tuples := make([]OutTuple, len(r.tuples))
+	keys := make([]string, len(r.keys))
+	for i, j := range perm {
+		tuples[i] = r.tuples[j]
+		keys[i] = r.keys[j]
+		r.byKey[keys[i]] = i
+	}
+	r.tuples, r.keys = tuples, keys
+	r.pend = make([][]semiring.MonomialTerm, len(r.tuples))
 }
 
 // Len returns the number of distinct output tuples.
@@ -62,6 +128,7 @@ func (r *Result) Tuples() []OutTuple { return r.tuples }
 // Lookup returns the provenance of t and whether t is in the result.
 func (r *Result) Lookup(t db.Tuple) (semiring.Polynomial, bool) {
 	if i, ok := r.byKey[t.Key()]; ok {
+		r.flush(i) // valid mid-build too, before finish re-sorts indices
 		return r.tuples[i].Prov, true
 	}
 	return semiring.Zero, false

@@ -50,6 +50,7 @@ func EncodeInstanceBlob(st InstanceState) ([]byte, error) {
 	env.Instance = st.ID
 	env.InstanceVersion = st.Version
 	env.LastSeq = st.LastSeq
+	env.Symbols = st.DB.Symbols().Symbols()
 	return json.Marshal(env)
 }
 
@@ -156,10 +157,11 @@ func (l *Log) writeShardSnapshot(k int, states []InstanceState) (int64, error) {
 	}
 	for _, st := range states {
 		env := store.NewEnvelope(st.DB, nil, nil)
-		env.Version = store.FormatVersion // v2 fields below
+		env.Version = store.FormatVersion // v3 fields below
 		env.Instance = st.ID
 		env.InstanceVersion = st.Version
 		env.LastSeq = st.LastSeq
+		env.Symbols = st.DB.Symbols().Symbols()
 		if err := enc.Encode(env); err != nil {
 			return 0, err
 		}

@@ -47,6 +47,27 @@ func NewMonomial(vars ...string) Monomial {
 	return monomialFromMap(exp)
 }
 
+// MonomialFromVars builds a monomial from a list of variable occurrences,
+// sorting vars in place. Equivalent to NewMonomial(vars...) but without the
+// counting map — one allocation per call. This is the evaluator's
+// per-assignment hot path.
+func MonomialFromVars(vars []string) Monomial {
+	if len(vars) == 0 {
+		return Monomial{}
+	}
+	sort.Strings(vars)
+	terms := make([]Term, 0, len(vars))
+	for i := 0; i < len(vars); {
+		j := i + 1
+		for j < len(vars) && vars[j] == vars[i] {
+			j++
+		}
+		terms = append(terms, Term{Var: vars[i], Exp: j - i})
+		i = j
+	}
+	return Monomial{terms: terms}
+}
+
 // MonomialFromExponents builds a monomial from an exponent map. Entries with
 // non-positive exponents are ignored.
 func MonomialFromExponents(exp map[string]int) Monomial {

@@ -1,6 +1,7 @@
 package semiring
 
 import (
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -158,6 +159,30 @@ func (p Polynomial) AddMonomial(m Monomial, coef int) Polynomial {
 		out = append(out, p.terms[i:]...)
 	}
 	return Polynomial{terms: out}
+}
+
+// AddTerms returns p plus the sum of the given monomial occurrences, which
+// need not be sorted or distinct. One sort plus one merge replaces the
+// per-occurrence merge-copy that repeated AddMonomial/Add calls would do,
+// so accumulating k contributions costs O(k log k) instead of O(k²). The
+// input slice is not modified.
+func (p Polynomial) AddTerms(ts []MonomialTerm) Polynomial {
+	if len(ts) == 0 {
+		return p
+	}
+	s := make([]MonomialTerm, len(ts))
+	copy(s, ts)
+	slices.SortFunc(s, func(a, b MonomialTerm) int { return a.Monomial.Compare(b.Monomial) })
+	w := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].Monomial.Compare(s[w].Monomial) == 0 {
+			s[w].Coef += s[i].Coef
+		} else {
+			w++
+			s[w] = s[i]
+		}
+	}
+	return p.Add(Polynomial{terms: s[:w+1]})
 }
 
 // Add returns p + q.

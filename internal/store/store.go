@@ -36,6 +36,12 @@ type Envelope struct {
 	// LastSeq is the last write-ahead-log sequence number reflected in
 	// this envelope (v2); replay applies only records with a larger seq.
 	LastSeq uint64 `json:"last_seq,omitempty"`
+	// Symbols is the instance's interned symbol table in id order (v3).
+	// Decoding seeds the table before the rows, so a recovered instance
+	// re-interns every value to exactly the id the writer used; files
+	// without it (v1/v2, offline-workflow files) just rebuild the table
+	// from the rows in insertion order.
+	Symbols []string `json:"symbols,omitempty"`
 	// Consts are the query constants, needed for exact direct minimization
 	// (Theorem 5.1 part 2). May be empty.
 	Consts []string `json:"consts,omitempty"`
@@ -68,8 +74,9 @@ type StoredTuple struct {
 // FormatVersion is the newest envelope version this package understands.
 // Readers accept every version from 1 through FormatVersion; writers emit
 // the lowest version that expresses their fields (NewEnvelope stamps 1,
-// and the persist snapshot layer raises it to 2 for its instance fields).
-const FormatVersion = 2
+// and the persist snapshot layer raises it to 3 for its instance and
+// symbol-table fields).
+const FormatVersion = 3
 
 // NewEnvelope captures an instance, an optional annotated result and the
 // query constants into an envelope. It stamps version 1 — everything it
@@ -124,10 +131,16 @@ func (env *Envelope) CheckVersion(maxVersion int) error {
 }
 
 // Decode reconstructs the instance, the annotated result and the constants
-// from an already version-checked envelope. Version 1 and 2 share the
-// database/result layout, so one decoder serves both.
+// from an already version-checked envelope. Versions 1-3 share the
+// database/result layout, so one decoder serves all; v3's symbol table, if
+// present, is seeded first so row decoding reproduces the writer's ids.
 func (env *Envelope) Decode() (*db.Instance, *eval.Result, []string, error) {
 	d := db.NewInstance()
+	if len(env.Symbols) > 0 {
+		if err := d.SeedSymbols(env.Symbols); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	for _, sr := range env.Database {
 		rel, err := d.Relation(sr.Name, sr.Arity)
 		if err != nil {

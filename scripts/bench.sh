@@ -17,22 +17,29 @@
 #   --update-baseline     copy the fresh run over bench/baseline.json
 #   --benchtime D         pass -benchtime D to `go test` (default 100ms;
 #                         the baseline must be recorded with the same D)
+#   --count N             pass -count N to `go test`: every benchmark runs
+#                         N times and all N samples land in the JSON;
+#                         benchcheck compares per-benchmark medians, so
+#                         N >= 3 is what makes the CI gate noise-robust
 #   --baseline FILE       baseline path for --check (default bench/baseline.json)
 #   --trajectory          additionally append this run to the dated
 #                         trajectory file bench/BENCH_<YYYY-MM-DD>.json (a
 #                         JSON array of runs, each with commit + results),
 #                         so per-PR perf history accumulates in-repo
 #
-# The emitter tolerates benchmark lines without an iterations count (a
-# failed benchmark prints its name alone) and -cpu runs that yield several
-# entries per benchmark: the full name, cpu suffix included, is kept as the
-# unique "bench" key next to the trimmed display "name".
+# The emitter (scripts/bench_emit.awk) tolerates benchmark lines without
+# an iterations count (a failed benchmark prints its name alone); -cpu
+# runs and --count repetitions both yield several entries per benchmark —
+# the full name, cpu suffix included, is kept as the "bench" key next to
+# the trimmed display "name", and benchcheck aggregates same-name samples
+# by median.
 set -eu
 
 cd "$(dirname "$0")/.." || exit 1
 
 outdir="bench"
 benchtime="100ms"
+count=1
 baseline="bench/baseline.json"
 check=0
 strict=0
@@ -48,6 +55,9 @@ while [ "$#" -gt 0 ]; do
         --benchtime)
             [ "$#" -ge 2 ] || { echo "bench.sh: --benchtime needs a value" >&2; exit 2; }
             benchtime="$2"; shift ;;
+        --count)
+            [ "$#" -ge 2 ] || { echo "bench.sh: --count needs a value" >&2; exit 2; }
+            count="$2"; shift ;;
         --baseline)
             [ "$#" -ge 2 ] || { echo "bench.sh: --baseline needs a value" >&2; exit 2; }
             baseline="$2"; shift ;;
@@ -66,7 +76,7 @@ json="$outdir/bench-$stamp.json"
 # No pipe into tee: a benchmark panic must fail this script (and the CI
 # bench job), not vanish behind tee's exit status.
 rc=0
-go test -run 'XXX' -bench . -benchmem -benchtime "$benchtime" ./... >"$raw" 2>&1 || rc=$?
+go test -run 'XXX' -bench . -benchmem -benchtime "$benchtime" -count "$count" ./... >"$raw" 2>&1 || rc=$?
 cat "$raw"
 if [ "$rc" -ne 0 ]; then
     echo "bench.sh: go test -bench failed (exit $rc)" >&2
@@ -74,30 +84,10 @@ if [ "$rc" -ne 0 ]; then
 fi
 
 # Convert "BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op" lines
-# into a JSON array with one object per benchmark line. Lines without an
-# iteration count (failed benchmarks) are skipped; only a trailing -N cpu
-# suffix is trimmed for the display name, so dashes inside benchmark and
-# sub-benchmark names survive.
-awk -v stamp="$stamp" '
-BEGIN { print "[" }
-/^Benchmark/ {
-    if (NF < 4 || $2 !~ /^[0-9]+$/) next     # no iterations line: skip
-    full = $1
-    name = full
-    sub(/-[0-9]+$/, "", name)                # cpu-count suffix only
-    ns = "null"; bytes = "null"; allocs = "null"
-    for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op"     && $i ~ /^[0-9.eE+-]+$/) ns = $i
-        if ($(i+1) == "B/op"      && $i ~ /^[0-9.eE+-]+$/) bytes = $i
-        if ($(i+1) == "allocs/op" && $i ~ /^[0-9.eE+-]+$/) allocs = $i
-    }
-    if (ns == "null") next                   # not a timing line
-    if (n++) printf ",\n"
-    printf "  {\"ts\":\"%s\",\"bench\":\"%s\",\"name\":\"%s\",\"iters\":%s", stamp, full, name, $2
-    printf ",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", ns, bytes, allocs
-}
-END { if (n) printf "\n"; print "]" }
-' "$raw" > "$json"
+# into a JSON array with one object per benchmark line. The emitter lives
+# in scripts/bench_emit.awk so cmd/benchcheck's regression test can run it
+# against a fixture of real `go test -bench` output.
+awk -v stamp="$stamp" -f scripts/bench_emit.awk "$raw" > "$json"
 
 echo "wrote $raw"
 echo "wrote $json"

@@ -1,0 +1,43 @@
+# bench_emit.awk — convert raw `go test -bench -benchmem` output into the
+# bench JSON array bench.sh records and cmd/benchcheck compares.
+#
+#   awk -v stamp=<ts> -f scripts/bench_emit.awk bench-raw.txt
+#
+# One object per benchmark timing line. Lines without an iteration count
+# (a failed benchmark prints its name alone) are skipped. Only a trailing
+# -N cpu suffix is trimmed for the display "name", so dashes — and '=' or
+# '/' from sub-benchmark names like join=hash/key=interned — survive
+# intact; the untrimmed name is kept as "bench". Sub-benchmark names are
+# arbitrary strings, so '"' and '\' are JSON-escaped rather than trusted.
+# cmd/benchcheck's emitter regression test runs this script against real
+# `go test -bench` output; extend that fixture when changing it.
+
+# In a gsub replacement POSIX interprets `\\` as one literal backslash, so
+# emitting two backslashes takes four in the replacement value — eight in
+# the source literal. `\"` alone is undefined behavior; `\\"` is not.
+function jesc(s) {
+    gsub(/\\/, "\\\\\\\\", s)
+    gsub(/"/, "\\\\\"", s)
+    return s
+}
+
+BEGIN { print "[" }
+
+/^Benchmark/ {
+    if (NF < 4 || $2 !~ /^[0-9]+$/) next     # no iterations: not a timing line
+    full = $1
+    name = full
+    sub(/-[0-9]+$/, "", name)                # cpu-count suffix only
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op"     && $i ~ /^[0-9.eE+-]+$/) ns = $i
+        if ($(i+1) == "B/op"      && $i ~ /^[0-9.eE+-]+$/) bytes = $i
+        if ($(i+1) == "allocs/op" && $i ~ /^[0-9.eE+-]+$/) allocs = $i
+    }
+    if (ns == "null") next
+    if (n++) printf ",\n"
+    printf "  {\"ts\":\"%s\",\"bench\":\"%s\",\"name\":\"%s\",\"iters\":%s", jesc(stamp), jesc(full), jesc(name), $2
+    printf ",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", ns, bytes, allocs
+}
+
+END { if (n) printf "\n"; print "]" }
