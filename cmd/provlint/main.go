@@ -1,0 +1,135 @@
+// Command provlint runs the project's custom analyzers over a module.
+//
+// Usage:
+//
+//	provlint [-tests] [dir]
+//
+// dir defaults to the current directory and must contain (or sit below)
+// a go.mod. provlint loads every package in the module from source,
+// type-checks it, runs the analyzer suite, and prints one line per
+// finding in the usual file:line:col style. The exit status is 1 if any
+// finding is reported, 2 on a load or type error.
+//
+// provlint is the project's stand-in for a go vet -vettool multichecker:
+// the analyzers mirror the golang.org/x/tools/go/analysis API so they
+// can be ported to a vettool when that dependency is available, but the
+// driver here loads and checks packages with the standard library only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"provmin/internal/analysis"
+	"provmin/internal/analysis/deterministic"
+	"provmin/internal/analysis/errwrapsentinel"
+	"provmin/internal/analysis/lockdiscipline"
+	"provmin/internal/analysis/metricsconst"
+	"provmin/internal/analysis/walexhaustive"
+)
+
+// suite is the full analyzer set, in reporting-name order.
+var suite = []*analysis.Analyzer{
+	deterministic.Analyzer,
+	errwrapsentinel.Analyzer,
+	lockdiscipline.Analyzer,
+	metricsconst.Analyzer,
+	walexhaustive.Analyzer,
+}
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: provlint [-tests] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := "."
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		dir = flag.Arg(0)
+	}
+
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlint:", err)
+		os.Exit(2)
+	}
+
+	prog, err := analysis.Load(analysis.LoadConfig{
+		Dir:          root,
+		ModulePath:   modPath,
+		IncludeTests: *tests,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlint:", err)
+		os.Exit(2)
+	}
+
+	findings, err := analysis.Run(prog, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "provlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mp := modulePath(data)
+			if mp == "" {
+				return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+			}
+			return d, mp, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(data []byte) string {
+	for _, line := range splitLines(string(data)) {
+		var p string
+		if n, _ := fmt.Sscanf(line, "module %s", &p); n == 1 {
+			return p
+		}
+	}
+	return ""
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for provlint, the project's custom linter (cmd/provlint). It mirrors the
+// shape of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic —
+// but is built entirely on the standard library's go/ast, go/parser,
+// go/types and go/importer, so the linter compiles from this module's
+// source with zero external dependencies and can never be version-skewed
+// against the repository it checks. If the x/tools dependency ever becomes
+// available to the build, the analyzers port mechanically: only the loader
+// (program.go) and the driver (run.go) are framework-specific.
+//
+// The analyzers themselves live in subpackages (walexhaustive,
+// deterministic, errwrapsentinel, lockdiscipline, metricsconst); each one
+// machine-checks a correctness invariant the system's guarantees rest on
+// and documents it in its doc.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run inspects a single package (one Pass)
+// and reports diagnostics through the pass; it must not retain the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in suppression
+	// directives ("//lint:ignore provlint/<name> reason").
+	Name string
+	// Doc is a one-paragraph statement of the invariant the analyzer
+	// guards, shown by `provlint -help`.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Prog is the whole loaded program: analyzers that need another
+	// package's syntax (for example to read a directive comment on a type
+	// declared elsewhere) reach it through Prog.FilesOf.
+	Prog *Program
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding: a position and a message, attributed to the
+// analyzer that produced it.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,125 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against "// want" expectations embedded in the fixture
+// source — the same contract as golang.org/x/tools/go/analysis/analysistest,
+// reimplemented on this module's stdlib-only framework.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/*.go; fixture packages may
+// import each other by their path relative to src. A line that should be
+// flagged carries a trailing comment of the form
+//
+//	x := f() // want "regexp matching the diagnostic"
+//
+// with one quoted regexp per expected diagnostic on that line. Every
+// expectation must be matched and every diagnostic must be expected;
+// anything else fails the test. Suppression directives
+// ("//lint:ignore provlint/<name> reason") are honored, so fixtures can
+// also prove that a documented ignore silences its diagnostic.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"provmin/internal/analysis"
+)
+
+// expectation is one "want" pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads <testdata>/src, analyzes the named fixture packages with a,
+// and reports any mismatch between diagnostics and want expectations as
+// test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	prog, err := analysis.Load(analysis.LoadConfig{Dir: filepath.Join(testdata, "src")})
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	byPath := map[string]*analysis.PackageInfo{}
+	for _, pi := range prog.Packages {
+		byPath[pi.PkgPath] = pi
+	}
+	for _, path := range pkgpaths {
+		pi, ok := byPath[path]
+		if !ok {
+			t.Errorf("fixture package %q not found under %s/src", path, testdata)
+			continue
+		}
+		findings, err := analysis.RunPackages(prog, []*analysis.PackageInfo{pi}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analyze %q: %v", path, err)
+			continue
+		}
+		checkExpectations(t, pi, findings)
+	}
+}
+
+func checkExpectations(t *testing.T, pi *analysis.PackageInfo, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, name := range fixtureFiles(pi) {
+		wants = append(wants, parseWants(t, name)...)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func fixtureFiles(pi *analysis.PackageInfo) []string {
+	matches, _ := filepath.Glob(filepath.Join(pi.Dir, "*.go"))
+	return matches
+}
+
+func parseWants(t *testing.T, filename string) []*expectation {
+	t.Helper()
+	raw, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatalf("read fixture %s: %v", filename, err)
+	}
+	data := strings.Split(string(raw), "\n")
+	var out []*expectation
+	for i, line := range data {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range quotedRe.FindAllString(m[1], -1) {
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", filename, i+1, q, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, pat, err)
+			}
+			out = append(out, &expectation{file: filename, line: i + 1, pattern: re})
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package deterministic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"provmin/internal/analysis"
+)
+
+// Analyzer flags nondeterminism hazards in //provlint:canonical packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "deterministic",
+	Doc:  "in //provlint:canonical packages, map iteration must not order output (append-then-sort or no writer writes) and the clock/RNG must stay out of encode/eval paths",
+	Run:  run,
+}
+
+// writerMethods are method names that emit bytes irrevocably.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// fmtWriters are fmt functions that write to an io.Writer.
+var fmtWriters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !isCanonical(pass.Files) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkClockAndRand(pass, n)
+			case *ast.BlockStmt:
+				checkMapRanges(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isCanonical(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == "//provlint:canonical" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkClockAndRand flags calls into time.Now/time.Since and math/rand.
+func checkClockAndRand(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+			pass.Reportf(call.Pos(),
+				"canonical package calls time.%s: clock values must not reach canonical output (pass timestamps in from a non-canonical caller)", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(),
+			"canonical package calls %s.%s: randomness must not reach canonical output (thread a seeded source in from a non-canonical caller)", obj.Pkg().Name(), sel.Sel.Name)
+	}
+}
+
+// checkMapRanges inspects each map-range statement that is a direct child
+// of block, so the "is there a sort after the loop?" question has a
+// well-defined statement list to scan.
+func checkMapRanges(pass *analysis.Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMapType(pass, rng.X) {
+			continue
+		}
+		appended, wrote := scanBody(pass, rng.Body)
+		for _, w := range wrote {
+			pass.Reportf(w.Pos(),
+				"write to a writer inside map iteration: iteration order is randomized, so the emitted bytes are nondeterministic (collect keys, sort, then write)")
+		}
+		for _, obj := range appended {
+			if !sortedAfter(pass, block.List[i+1:], obj) {
+				pass.Reportf(rng.Pos(),
+					"map iteration appends to %q without a subsequent sort in this block: the slice order is randomized (sort it, or iterate sorted keys)", obj.Name())
+			}
+		}
+	}
+}
+
+func isMapType(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// scanBody finds output accumulation inside a map-range body: objects
+// appended to, and writer-call sites. Nested map ranges are handled by
+// their own enclosing-block visit.
+func scanBody(pass *analysis.Pass, body *ast.BlockStmt) (appended []*types.Var, wrote []ast.Node) {
+	seen := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for j, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || j >= len(n.Lhs) {
+					continue
+				}
+				if obj := assignedVar(pass, n.Lhs[j]); obj != nil && !seen[obj] {
+					seen[obj] = true
+					appended = append(appended, obj)
+				}
+			}
+		case *ast.CallExpr:
+			if isWriterCall(pass, n) {
+				wrote = append(wrote, n)
+			}
+		}
+		return true
+	})
+	return appended, wrote
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func assignedVar(pass *analysis.Pass, lhs ast.Expr) *types.Var {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		v, _ := pass.TypesInfo.Uses[lhs].(*types.Var)
+		if v == nil {
+			v, _ = pass.TypesInfo.Defs[lhs].(*types.Var)
+		}
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pass.TypesInfo.Uses[lhs.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+func isWriterCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return fmtWriters[fn.Name()]
+	}
+	// A method named like a writer on any receiver (bytes.Buffer,
+	// strings.Builder, bufio.Writer, io.Writer, ...).
+	if pass.TypesInfo.Selections[sel] != nil {
+		return writerMethods[sel.Sel.Name]
+	}
+	return false
+}
+
+// sortedAfter reports whether any statement in stmts calls into sort or
+// slices with obj among the call's argument expressions.
+func sortedAfter(pass *analysis.Pass, stmts []ast.Stmt, obj *types.Var) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

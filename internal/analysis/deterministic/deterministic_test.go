@@ -1,0 +1,12 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"provmin/internal/analysis/analysistest"
+	"provmin/internal/analysis/deterministic"
+)
+
+func TestDeterministic(t *testing.T) {
+	analysistest.Run(t, "testdata", deterministic.Analyzer, "canonfix", "noncanon")
+}

@@ -1,0 +1,40 @@
+// Package deterministic guards the byte-identical-output invariant of
+// canonical packages — packages whose output feeds a canonical encoding
+// (snapshots, /metrics text, polynomial strings, evaluation results) and
+// is compared byte-for-byte across the cold, cached, maintained, interned
+// and parallel paths by the differential tests.
+//
+// # Invariant
+//
+// A canonical package must be deterministic: same inputs, same bytes out.
+// The two ways this breaks in practice are Go's randomized map iteration
+// order leaking into an output sequence, and wall-clock or RNG values
+// reaching an encode/eval path. The differential tests catch such bugs
+// only probabilistically (a lucky iteration order passes CI and fails in
+// production); this analyzer catches them structurally.
+//
+// # Rule
+//
+// In packages marked canonical (a "//provlint:canonical" directive
+// anywhere in the package, conventionally above the package clause):
+//
+//   - a `range` over a map whose body appends to a slice must be followed
+//     (later in the same enclosing block) by a sort call that mentions the
+//     slice — the collect-then-sort idiom. Appending without sorting makes
+//     the slice order random.
+//   - a `range` over a map whose body writes to a writer (Write*,
+//     Fprint*/Fprintf/Fprintln, WriteString, ...) is always flagged:
+//     bytes already written cannot be sorted afterwards.
+//   - any call to time.Now, time.Since or a math/rand (v1 or v2) function
+//     is flagged: canonical output must not depend on the clock or an RNG.
+//
+// Map-to-map transfers are not flagged (insertion order does not matter),
+// and the analyzer checks direct calls within the canonical package — a
+// deliberate approximation of "reachable from encode/eval entry points"
+// that keeps the check call-graph-free; the canonical packages contain no
+// non-canonical helpers that would make it noisy.
+//
+// # Suppression
+//
+//	//lint:ignore provlint/deterministic <reason>
+package deterministic

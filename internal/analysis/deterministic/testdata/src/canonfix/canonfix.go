@@ -1,0 +1,82 @@
+// Package canonfix is the flagged fixture for deterministic: a canonical
+// package with unsorted map iterations and clock/RNG calls.
+//
+//provlint:canonical
+package canonfix
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration appends to \"keys\" without a subsequent sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func writesDuringRange(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want "write to a writer inside map iteration"
+	}
+}
+
+func methodWriteDuringRange(m map[string]bool, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want "write to a writer inside map iteration"
+	}
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v // insertion order is irrelevant: compliant
+	}
+	return out
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "canonical package calls time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "canonical package calls time.Since"
+}
+
+func random() int {
+	return rand.Intn(10) // want "canonical package calls rand.Intn"
+}
+
+func suppressedClock() time.Time {
+	//lint:ignore provlint/deterministic fixture: timestamp feeds a log line, not canonical output
+	return time.Now()
+}
+
+func sliceRangeIsFine(xs []string, buf *bytes.Buffer) {
+	for _, x := range xs {
+		buf.WriteString(x)
+	}
+}

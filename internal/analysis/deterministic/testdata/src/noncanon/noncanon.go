@@ -1,0 +1,15 @@
+// Package noncanon is the clean fixture: the same hazards in a package
+// without the canonical directive are not the analyzer's business.
+package noncanon
+
+import "time"
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func clock() time.Time { return time.Now() }

@@ -1,0 +1,36 @@
+// Package errwrapsentinel keeps the engine's sentinel-error contract
+// intact across wrapping boundaries.
+//
+// # Invariant
+//
+// The public API's error contract is "errors.Is(err, engine.ErrX)". That
+// contract survives only if every layer that decorates an error keeps the
+// sentinel in the unwrap chain (%w) and every layer that tests for one
+// uses errors.Is. Stringifying a sentinel with %v/%s produces an error
+// that looks right in logs but silently breaks callers' errors.Is checks;
+// comparing with == breaks as soon as anyone upstream adds wrapping.
+//
+// # Rule
+//
+//   - A fmt.Errorf call that passes a sentinel (a package-level variable
+//     of type error, e.g. engine.ErrClosed or io.EOF) to a verb other
+//     than %w is flagged. The format string is parsed for real — %%,
+//     *-widths and explicit [n] argument indexes are handled — so the
+//     verb matched to the sentinel is the one that actually formats it.
+//     Non-constant format strings are skipped.
+//   - A == or != comparison where either operand resolves to a
+//     package-level error variable is flagged: use errors.Is (or
+//     errors.Is(...) == false) so wrapped errors still match.
+//
+// Comparisons inside a switch statement's case list are not expanded by
+// this analyzer; the codebase does not use value switches on errors.
+//
+// # Suppression
+//
+//	//lint:ignore provlint/errwrapsentinel <reason>
+//
+// The legitimate use of %v on a sentinel is a message that deliberately
+// flattens an inner error while a different sentinel is wrapped alongside
+// it (e.g. "%w: details: %v" where the %w sentinel carries the contract).
+// Suppress those with a reason naming the contract-bearing sentinel.
+package errwrapsentinel

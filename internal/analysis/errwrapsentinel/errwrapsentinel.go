@@ -1,0 +1,174 @@
+package errwrapsentinel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"provmin/internal/analysis"
+)
+
+// Analyzer flags sentinel errors that are stringified instead of wrapped,
+// and == / != comparisons against sentinels that should be errors.Is.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapsentinel",
+	Doc:  "sentinel errors must be wrapped with %w and tested with errors.Is, or callers' errors.Is checks silently break",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelOf returns the package-level error variable an expression
+// resolves to, or nil. It recognizes bare identifiers and pkg.Ident
+// selectors.
+func sentinelOf(pass *analysis.Pass, x ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorIface) && !types.Implements(types.NewPointer(v.Type()), errorIface) {
+		return nil
+	}
+	return v
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := verbsByArg(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		v := sentinelOf(pass, arg)
+		if v == nil {
+			continue
+		}
+		verb, ok := verbs[i]
+		if !ok || verb == 'w' {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"sentinel %s formatted with %%%c: this flattens it to a string and breaks callers' errors.Is — wrap it with %%w", v.Name(), verb)
+	}
+}
+
+// verbsByArg parses a Printf format string and maps each consumed
+// argument index (0-based, counting from the first vararg) to the verb
+// that formats it. *-widths and *-precisions consume an argument each
+// (mapped to '*'); %[n] explicit indexes reposition the cursor; %% maps
+// to nothing.
+func verbsByArg(format string) map[int]rune {
+	out := map[int]rune{}
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// Flags.
+		for i < len(rs) && (rs[i] == '+' || rs[i] == '-' || rs[i] == '#' || rs[i] == ' ' || rs[i] == '0') {
+			i++
+		}
+		// Explicit argument index: %[n]verb (1-based).
+		if i < len(rs) && rs[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+				n = n*10 + int(rs[j]-'0')
+				j++
+			}
+			if j < len(rs) && rs[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		// Width.
+		if i < len(rs) && rs[i] == '*' {
+			out[arg] = '*'
+			arg++
+			i++
+		} else {
+			for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			if i < len(rs) && rs[i] == '*' {
+				out[arg] = '*'
+				arg++
+				i++
+			} else {
+				for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		out[arg] = rs[i]
+		arg++
+	}
+	return out
+}
+
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	v := sentinelOf(pass, b.X)
+	if v == nil {
+		v = sentinelOf(pass, b.Y)
+	}
+	if v == nil {
+		return
+	}
+	op := "errors.Is(err, " + v.Name() + ")"
+	if b.Op == token.NEQ {
+		op = "!" + op
+	}
+	pass.Reportf(b.Pos(),
+		"comparison with sentinel %s using %s: breaks once any layer wraps the error — use %s", v.Name(), b.Op, op)
+}

@@ -1,0 +1,12 @@
+package errwrapsentinel_test
+
+import (
+	"testing"
+
+	"provmin/internal/analysis/analysistest"
+	"provmin/internal/analysis/errwrapsentinel"
+)
+
+func TestErrWrapSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrapsentinel.Analyzer, "wrapfix")
+}

@@ -1,0 +1,70 @@
+// Package wrapfix is the fixture for errwrapsentinel.
+package wrapfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrClosed = errors.New("wrapfix: closed")
+var ErrBusy = errors.New("wrapfix: busy")
+
+func stringified(id string) error {
+	return fmt.Errorf("open %q: %v", id, ErrClosed) // want "sentinel ErrClosed formatted with %v"
+}
+
+func stringifiedS() error {
+	return fmt.Errorf("state: %s", ErrBusy) // want "sentinel ErrBusy formatted with %s"
+}
+
+func wrapped(id string) error {
+	return fmt.Errorf("open %q: %w", id, ErrClosed)
+}
+
+func wrappedWithDetail() error {
+	//lint:ignore provlint/errwrapsentinel ErrBusy carries the contract via %w; ErrClosed is flattened detail
+	return fmt.Errorf("%w: retry later: %v", ErrBusy, ErrClosed)
+}
+
+func starWidth(n int) error {
+	return fmt.Errorf("pad %*d then %v", n, n, ErrClosed) // want "sentinel ErrClosed formatted with %v"
+}
+
+func indexed() error {
+	return fmt.Errorf("%[2]s before %[1]w", ErrClosed, "detail")
+}
+
+func indexedBad() error {
+	return fmt.Errorf("%[2]v after %[1]s", "detail", ErrBusy) // want "sentinel ErrBusy formatted with %v"
+}
+
+func percentLiteral() error {
+	return fmt.Errorf("100%% done: %w", ErrClosed)
+}
+
+func compared(err error) bool {
+	return err == io.EOF // want "comparison with sentinel EOF using =="
+}
+
+func comparedNeq(err error) bool {
+	return err != ErrClosed // want "comparison with sentinel ErrClosed using !="
+}
+
+func comparedRight(err error) bool {
+	return ErrBusy == err // want "comparison with sentinel ErrBusy using =="
+}
+
+func properIs(err error) bool {
+	return errors.Is(err, ErrClosed)
+}
+
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+func localNotSentinel() bool {
+	local := errors.New("scratch")
+	other := errors.New("scratch2")
+	return local == other
+}

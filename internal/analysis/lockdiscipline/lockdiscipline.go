@@ -1,0 +1,282 @@
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"provmin/internal/analysis"
+)
+
+// Analyzer enforces the engine's lock hierarchy on fields annotated with
+// //provlint:lockorder N.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "locks annotated //provlint:lockorder N must be acquired in strictly increasing level order and released in the same function",
+	Run:  run,
+}
+
+var orderRe = regexp.MustCompile(`^//provlint:lockorder\s+(\d+)$`)
+
+type lockEvent struct {
+	node     ast.Node
+	level    int
+	recv     string // types.ExprString of the receiver, for unlock pairing
+	acquire  bool
+	deferred bool
+}
+
+type funcFacts struct {
+	decl     *ast.FuncDecl
+	events   []lockEvent
+	calls    []callSite
+	acquires map[int]bool // levels acquired, direct then transitive
+}
+
+type callSite struct {
+	node   ast.Node
+	callee *types.Func
+}
+
+func run(pass *analysis.Pass) error {
+	levels := map[*types.Var]int{}
+	facts := map[*types.Func]*funcFacts{}
+	var order []*types.Func
+
+	for _, f := range pass.Files {
+		collectLevels(pass, f, levels)
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := collectFacts(pass, fd, levels)
+			facts[fn] = ff
+			order = append(order, fn)
+		}
+	}
+
+	// Fixpoint: propagate acquired levels up the intra-package call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			ff := facts[fn]
+			for _, cs := range ff.calls {
+				callee := facts[cs.callee]
+				if callee == nil {
+					continue
+				}
+				for lvl := range callee.acquires {
+					if !ff.acquires[lvl] {
+						ff.acquires[lvl] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, fn := range order {
+		checkFunc(pass, facts, facts[fn])
+	}
+	return nil
+}
+
+// collectLevels finds struct fields annotated //provlint:lockorder N and
+// records the field object's level.
+func collectLevels(pass *analysis.Pass, f *ast.File, levels map[*types.Var]int) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		field, ok := n.(*ast.Field)
+		if !ok {
+			return true
+		}
+		lvl, ok := fieldDirective(field)
+		if !ok {
+			return true
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				levels[v] = lvl
+			}
+		}
+		return true
+	})
+}
+
+func fieldDirective(field *ast.Field) (int, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := orderRe.FindStringSubmatch(c.Text); m != nil {
+				lvl, err := strconv.Atoi(m[1])
+				if err == nil && lvl > 0 {
+					return lvl, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+var lockNames = map[string]bool{"Lock": true, "RLock": true}
+var unlockNames = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// collectFacts gathers lock/unlock events and same-package call sites in
+// source order, plus the set of levels the function acquires directly.
+func collectFacts(pass *analysis.Pass, fd *ast.FuncDecl, levels map[*types.Var]int) *funcFacts {
+	ff := &funcFacts{decl: fd, acquires: map[int]bool{}}
+	deferred := map[ast.Node]bool{}
+	spawned := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.GoStmt:
+			// A goroutine acquires its locks on its own stack: its levels
+			// are not held by the spawner, so the call does not propagate.
+			spawned[n.Call] = true
+		case *ast.CallExpr:
+			if spawned[n] {
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+						ff.calls = append(ff.calls, callSite{node: n, callee: fn})
+					}
+				}
+				return true
+			}
+			name := sel.Sel.Name
+			if lockNames[name] || unlockNames[name] {
+				if lvl, recv, ok := annotatedReceiver(pass, sel.X, levels); ok {
+					ev := lockEvent{node: n, level: lvl, recv: recv, acquire: lockNames[name], deferred: deferred[n]}
+					ff.events = append(ff.events, ev)
+					if ev.acquire {
+						ff.acquires[lvl] = true
+					}
+					return true
+				}
+			}
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+				ff.calls = append(ff.calls, callSite{node: n, callee: fn})
+			}
+		}
+		return true
+	})
+	return ff
+}
+
+// annotatedReceiver resolves the mutex expression (e.g. e.closeMu or
+// s.shards[i].mu) to an annotated field and a pairing key.
+func annotatedReceiver(pass *analysis.Pass, x ast.Expr, levels map[*types.Var]int) (int, string, bool) {
+	sx, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	var v *types.Var
+	if s := pass.TypesInfo.Selections[sx]; s != nil {
+		v, _ = s.Obj().(*types.Var)
+	} else {
+		v, _ = pass.TypesInfo.Uses[sx.Sel].(*types.Var)
+	}
+	if v == nil {
+		return 0, "", false
+	}
+	lvl, ok := levels[v]
+	if !ok {
+		return 0, "", false
+	}
+	return lvl, types.ExprString(sx), true
+}
+
+func checkFunc(pass *analysis.Pass, facts map[*types.Func]*funcFacts, ff *funcFacts) {
+	held := map[int]int{} // level -> count
+	maxHeld := func() int {
+		m := 0
+		for lvl, n := range held {
+			if n > 0 && lvl > m {
+				m = lvl
+			}
+		}
+		return m
+	}
+
+	// Interleave events and call sites in source order.
+	type step struct {
+		ev   *lockEvent
+		call *callSite
+		pos  int
+	}
+	var steps []step
+	for i := range ff.events {
+		steps = append(steps, step{ev: &ff.events[i], pos: int(ff.events[i].node.Pos())})
+	}
+	for i := range ff.calls {
+		steps = append(steps, step{call: &ff.calls[i], pos: int(ff.calls[i].node.Pos())})
+	}
+	for i := 1; i < len(steps); i++ {
+		for j := i; j > 0 && steps[j].pos < steps[j-1].pos; j-- {
+			steps[j], steps[j-1] = steps[j-1], steps[j]
+		}
+	}
+
+	for _, s := range steps {
+		if s.call != nil {
+			callee := facts[s.call.callee]
+			if callee == nil || maxHeld() == 0 {
+				continue
+			}
+			for lvl := range callee.acquires {
+				if lvl <= maxHeld() {
+					pass.Reportf(s.call.node.Pos(),
+						"call to %s while holding lock level %d: the callee (transitively) acquires level %d, violating the lock order", s.call.callee.Name(), maxHeld(), lvl)
+					break
+				}
+			}
+			continue
+		}
+		ev := s.ev
+		if ev.acquire {
+			if m := maxHeld(); m >= ev.level {
+				pass.Reportf(ev.node.Pos(),
+					"acquiring %s (level %d) while holding level %d: lock levels must strictly increase (closeMu -> shard -> instance -> batcher fence)", ev.recv, ev.level, m)
+			}
+			held[ev.level]++
+			if !unlockedLater(ff.events, ev) {
+				pass.Reportf(ev.node.Pos(),
+					"%s is locked here but never unlocked in this function: this codebase does not hand locked state to callers", ev.recv)
+			}
+		} else if !ev.deferred {
+			if held[ev.level] > 0 {
+				held[ev.level]--
+			}
+		}
+	}
+}
+
+// unlockedLater reports whether a matching unlock of the same receiver
+// appears after the acquire (deferred unlocks may appear earlier in
+// source order but run at function exit, so any deferred unlock counts).
+func unlockedLater(events []lockEvent, acq *lockEvent) bool {
+	for i := range events {
+		ev := &events[i]
+		if ev.acquire || ev.recv != acq.recv {
+			continue
+		}
+		if ev.deferred || ev.node.Pos() > acq.node.Pos() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+// Package lockfix is the fixture for lockdiscipline.
+package lockfix
+
+import "sync"
+
+type engine struct {
+	closeMu sync.RWMutex //provlint:lockorder 1
+	mu      sync.Mutex   //provlint:lockorder 2
+	imu     sync.RWMutex //provlint:lockorder 3
+
+	plain sync.Mutex // unannotated: not the analyzer's business
+}
+
+func (e *engine) good() {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.imu.Lock()
+	e.imu.Unlock()
+}
+
+func (e *engine) inverted() {
+	e.mu.Lock()
+	e.closeMu.RLock() // want "acquiring e.closeMu \\(level 1\\) while holding level 2"
+	e.closeMu.RUnlock()
+	e.mu.Unlock()
+}
+
+func (e *engine) reacquire() {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	e.closeMu.RLock() // want "acquiring e.closeMu \\(level 1\\) while holding level 1"
+	e.closeMu.RUnlock()
+}
+
+func (e *engine) leaky() {
+	e.mu.Lock() // want "e.mu is locked here but never unlocked"
+}
+
+func (e *engine) sequential() {
+	// Release before acquiring downward: legal.
+	e.imu.Lock()
+	e.imu.Unlock()
+	e.closeMu.RLock()
+	e.closeMu.RUnlock()
+}
+
+func (e *engine) lockLow() {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+}
+
+func (e *engine) callsDown() {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	e.lockLow() // want "call to lockLow while holding lock level 3"
+}
+
+func (e *engine) middle() {
+	e.lockLow()
+}
+
+func (e *engine) transitive() {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	e.middle() // want "call to middle while holding lock level 3"
+}
+
+func (e *engine) callUnheld() {
+	e.middle() // holding nothing: fine
+}
+
+func (e *engine) spawner() {
+	go e.lockLow()
+}
+
+func (e *engine) spawnsWhileHeld() {
+	// The goroutine acquires level 1 on its own stack: fine.
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	e.spawner()
+}
+
+func (e *engine) suppressed() {
+	e.mu.Lock()
+	//lint:ignore provlint/lockdiscipline fixture: the two branches are mutually exclusive at runtime
+	e.closeMu.RLock()
+	e.closeMu.RUnlock()
+	e.mu.Unlock()
+}
+
+func (e *engine) unannotated() {
+	e.plain.Lock()
+	e.plain.Unlock()
+}
+
+func localMutex() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package metricsconst keeps the metric namespace static and consistent.
+//
+// # Invariant
+//
+// Metric series are created on first use: Registry.Counter/Gauge/
+// Histogram register the name if it is new. A dynamically built name
+// (fmt.Sprintf with an instance ID, string concatenation with user
+// input) creates unbounded cardinality in the registry and in every
+// scraper downstream, and a name registered under two different kinds
+// panics at runtime on the second registration. Both mistakes are
+// invisible in tests that never hit the offending code path.
+//
+// # Rule
+//
+// For calls to methods named Counter, Gauge or Histogram on a value
+// whose type is declared in a package named "metrics":
+//
+//   - the name argument must be a compile-time constant (a string
+//     literal, a named const, or a constant expression built from them);
+//   - within the analyzed package, the same constant name must not be
+//     passed to two different kinds (the first use in source order wins;
+//     later conflicting uses are flagged).
+//
+// # Suppression
+//
+//	//lint:ignore provlint/metricsconst <reason>
+//
+// The only accepted reason for a dynamic name is a bounded, code-owned
+// enumeration (e.g. ranging over a fixed table of shard names); say so.
+package metricsconst

@@ -1,0 +1,83 @@
+package metricsconst
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"provmin/internal/analysis"
+)
+
+// Analyzer flags dynamically built metric names and kind collisions in
+// calls to metrics.Registry create-on-use methods.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricsconst",
+	Doc:  "metric names must be compile-time constants, and a name must keep one kind — dynamic names are unbounded cardinality, kind collisions panic at runtime",
+	Run:  run,
+}
+
+var kinds = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+type use struct {
+	pos  token.Pos
+	name string
+	kind string
+}
+
+func run(pass *analysis.Pass) error {
+	var uses []use
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := metricsMethod(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to %s is not a compile-time constant: dynamic names are unbounded registry cardinality (use a const and a label-free fixed name)", kind)
+				return true
+			}
+			uses = append(uses, use{pos: call.Pos(), name: constant.StringVal(tv.Value), kind: kind})
+			return true
+		})
+	}
+
+	sort.Slice(uses, func(i, j int) bool { return uses[i].pos < uses[j].pos })
+	first := map[string]string{}
+	for _, u := range uses {
+		if k, ok := first[u.name]; ok {
+			if k != u.kind {
+				pass.Reportf(u.pos,
+					"metric %q registered as %s here but as %s earlier in this package: the second registration panics at runtime", u.name, u.kind, k)
+			}
+			continue
+		}
+		first[u.name] = u.kind
+	}
+	return nil
+}
+
+// metricsMethod reports whether call is Counter/Gauge/Histogram on a
+// value whose type lives in a package named "metrics", returning the
+// method name.
+func metricsMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !kinds[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "metrics" {
+		return "", false
+	}
+	if pass.TypesInfo.Selections[sel] == nil {
+		return "", false // a package-level function, not a method
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,12 @@
+package metricsconst_test
+
+import (
+	"testing"
+
+	"provmin/internal/analysis/analysistest"
+	"provmin/internal/analysis/metricsconst"
+)
+
+func TestMetricsConst(t *testing.T) {
+	analysistest.Run(t, "testdata", metricsconst.Analyzer, "metricfix")
+}

@@ -1,0 +1,39 @@
+// Package metricfix is the fixture for metricsconst.
+package metricfix
+
+import (
+	"fmt"
+
+	"metricfix/metrics"
+)
+
+const evalTotal = "provmin_eval_total"
+const prefix = "provmin_"
+
+func literals(r *metrics.Registry) {
+	r.Counter("provmin_ingest_total").Inc()
+	r.Gauge(evalTotal + "_inflight").Set(1)
+	r.Histogram(prefix + "latency_us").Observe(5)
+}
+
+func dynamic(r *metrics.Registry, id string) {
+	r.Counter(fmt.Sprintf("provmin_instance_%s_ops", id)).Inc() // want "metric name passed to Counter is not a compile-time constant"
+	name := prefix + id
+	r.Gauge(name).Set(0) // want "metric name passed to Gauge is not a compile-time constant"
+}
+
+func collision(r *metrics.Registry) {
+	r.Counter("provmin_cache_events").Inc()
+	r.Gauge("provmin_cache_events").Set(2) // want "registered as Gauge here but as Counter earlier"
+}
+
+func suppressed(r *metrics.Registry) {
+	for _, shard := range []string{"a", "b"} {
+		//lint:ignore provlint/metricsconst fixture: bounded code-owned shard enumeration
+		r.Counter(prefix + shard).Inc()
+	}
+}
+
+func notTheRegistry(id string) {
+	fmt.Println("Counter", id) // different package: not our business
+}

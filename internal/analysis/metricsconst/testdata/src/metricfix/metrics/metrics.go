@@ -1,0 +1,16 @@
+// Package metrics is a fixture stand-in for the real registry.
+package metrics
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (c *Counter) Inc()            {}
+func (g *Gauge) Set(v float64)     {}
+func (h *Histogram) Observe(v int) {}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic: position, analyzer and message,
+// after suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (provlint/%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// ignoreDirective is one parsed "//lint:ignore provlint/<name> reason"
+// comment. It suppresses diagnostics of the named analyzer on its own line
+// and on the line immediately following (the comment-above-the-statement
+// form). The reason is mandatory: an undocumented suppression is itself
+// reported as a finding, so every silenced diagnostic carries its
+// justification in the source.
+type ignoreDirective struct {
+	analyzer string
+	line     int
+	used     bool
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+provlint/([a-z0-9_-]+)(?:\s+(.*))?$`)
+
+// collectIgnores scans one file for provlint suppression directives.
+// Malformed directives (no reason) are reported through report.
+func collectIgnores(fset *token.FileSet, f *ast.File, report func(Finding)) map[string][]*ignoreDirective {
+	out := map[string][]*ignoreDirective{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if strings.TrimSpace(m[2]) == "" {
+				report(Finding{
+					Analyzer: "suppression",
+					Pos:      pos,
+					Message:  fmt.Sprintf("lint:ignore provlint/%s needs a reason: every suppression must document why the invariant does not apply", m[1]),
+				})
+				continue
+			}
+			out[m[1]] = append(out[m[1]], &ignoreDirective{analyzer: m[1], line: pos.Line})
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every target package of prog, applies
+// the suppression directives, and returns the surviving findings sorted by
+// position. Unused suppressions are reported as findings themselves: a
+// directive that no longer silences anything is stale documentation and
+// must be removed.
+func Run(prog *Program, analyzers []*Analyzer) ([]Finding, error) {
+	return RunPackages(prog, prog.Packages, analyzers)
+}
+
+// RunPackages is Run restricted to a subset of the program's packages —
+// the analysistest harness uses it to check one fixture package at a time
+// while its dependency fixtures stay loaded but unanalyzed.
+func RunPackages(prog *Program, pkgs []*PackageInfo, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	// filename -> analyzer -> directives
+	ignores := map[string]map[string][]*ignoreDirective{}
+	for _, pi := range pkgs {
+		for _, f := range pi.Files {
+			name := prog.Fset.Position(f.Package).Filename
+			ignores[name] = collectIgnores(prog.Fset, f, func(fd Finding) {
+				findings = append(findings, fd)
+			})
+		}
+	}
+
+	for _, pi := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pi.Files,
+				Pkg:       pi.Pkg,
+				TypesInfo: pi.Info,
+				Prog:      prog,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := prog.Fset.Position(d.Pos)
+				for _, dir := range ignores[pos.Filename][a.Name] {
+					if dir.line == pos.Line || dir.line == pos.Line-1 {
+						dir.used = true
+						return
+					}
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pi.PkgPath, err)
+			}
+		}
+	}
+
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for file, byName := range ignores {
+		for name, dirs := range byName {
+			if !names[name] {
+				continue // another analyzer set's directive; not ours to judge
+			}
+			for _, dir := range dirs {
+				if !dir.used {
+					findings = append(findings, Finding{
+						Analyzer: "suppression",
+						Pos:      token.Position{Filename: file, Line: dir.line},
+						Message:  fmt.Sprintf("stale lint:ignore provlint/%s: it suppresses nothing; remove it", name),
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,26 @@
+// Package walexhaustive enforces exhaustive switches over enum-like named
+// types marked with a "//provlint:exhaustive" directive — in this
+// repository, persist.Op, the WAL record kind.
+//
+// # Invariant
+//
+// Crash recovery replays every WAL record through switches in
+// internal/persist (the residency pre-pass and the apply pass). A new op
+// constant that one of those switches silently falls through is data loss:
+// the record is acknowledged, logged, and then ignored at boot. The same
+// applies to any future switch over the op type anywhere in the module.
+//
+// # Rule
+//
+// Every switch statement whose tag has a type marked
+// "//provlint:exhaustive" (on the type declaration) must either list every
+// declared constant of that type among its cases or carry an explicit
+// default clause. Constants are matched by value, so aliased constants
+// count as covered.
+//
+// # Suppression
+//
+//	//lint:ignore provlint/walexhaustive <reason>
+//
+// on (or directly above) the switch line.
+package walexhaustive

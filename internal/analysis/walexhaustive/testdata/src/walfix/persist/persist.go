@@ -1,0 +1,14 @@
+// Package persist is a fixture mirror of the real WAL op enum.
+package persist
+
+// Op names one kind of WAL record.
+//
+//provlint:exhaustive
+type Op string
+
+const (
+	OpCreate Op = "create"
+	OpIngest Op = "ingest"
+	OpDrop   Op = "drop"
+	OpEvict  Op = "evict"
+)

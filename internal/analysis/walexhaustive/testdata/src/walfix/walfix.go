@@ -1,0 +1,75 @@
+// Package walfix is the flagged fixture for walexhaustive: switches over a
+// marked op type that skip declared constants.
+package walfix
+
+import "walfix/persist"
+
+func residencyPrePass(op persist.Op) int {
+	switch op { // want "switch over persist.Op is not exhaustive: missing OpCreate, OpIngest"
+	case persist.OpEvict:
+		return 1
+	case persist.OpDrop:
+		return 2
+	}
+	return 0
+}
+
+func applyPass(op persist.Op) int {
+	// Exhaustive by explicit default: compliant.
+	switch op {
+	case persist.OpCreate, persist.OpIngest:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func fullyListed(op persist.Op) int {
+	// Every declared constant listed: compliant without a default.
+	switch op {
+	case persist.OpCreate:
+		return 1
+	case persist.OpIngest:
+		return 2
+	case persist.OpDrop, persist.OpEvict:
+		return 3
+	}
+	return 0
+}
+
+func localAlias(op persist.Op) int {
+	// Aliased constants count by value: compliant.
+	const created = persist.OpCreate
+	switch op {
+	case created, persist.OpIngest, persist.OpDrop, persist.OpEvict:
+		return 1
+	}
+	return 0
+}
+
+func aliasStillMissing(op persist.Op) int {
+	const created = persist.OpCreate
+	switch op { // want "missing OpDrop, OpEvict"
+	case created, persist.OpIngest:
+		return 1
+	}
+	return 0
+}
+
+func suppressed(op persist.Op) int {
+	//lint:ignore provlint/walexhaustive fixture proves a documented ignore silences the diagnostic
+	switch op {
+	case persist.OpCreate:
+		return 1
+	}
+	return 0
+}
+
+func unmarkedType(s string) int {
+	// A plain string switch is never exhaustive-checked.
+	switch s {
+	case "a":
+		return 1
+	}
+	return 0
+}

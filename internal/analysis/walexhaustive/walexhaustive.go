@@ -1,0 +1,141 @@
+package walexhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"provmin/internal/analysis"
+)
+
+// Analyzer flags non-exhaustive switches over //provlint:exhaustive types.
+var Analyzer = &analysis.Analyzer{
+	Name: "walexhaustive",
+	Doc:  "switches over types marked //provlint:exhaustive (persist.Op) must cover every declared constant or have an explicit default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Memoize per declaring type: is it marked, and what are its constants.
+	marked := map[*types.TypeName]bool{}
+	consts := map[*types.TypeName]map[string]string{} // value (exact) -> const name
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if _, seen := marked[obj]; !seen {
+				marked[obj] = isExhaustive(pass, obj)
+				if marked[obj] {
+					consts[obj] = declaredConsts(obj, named)
+				}
+			}
+			if !marked[obj] {
+				return true
+			}
+
+			covered := map[string]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if v := pass.TypesInfo.Types[e].Value; v != nil {
+						covered[v.ExactString()] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for val, name := range consts[obj] {
+				if !covered[val] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(),
+					"switch over %s.%s is not exhaustive: missing %s (add the cases or an explicit default — a silently skipped op is data loss on replay)",
+					obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declaredConsts collects every package-level constant of the named type
+// in its declaring package, keyed by exact constant value.
+func declaredConsts(obj *types.TypeName, named *types.Named) map[string]string {
+	out := map[string]string{}
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if prev, dup := out[key]; !dup || name < prev {
+			out[key] = name
+		}
+	}
+	return out
+}
+
+// isExhaustive reports whether the type's declaration carries the
+// //provlint:exhaustive directive. The declaring package's syntax must be
+// part of the loaded program; types from outside it (stdlib) are never
+// exhaustive-checked.
+func isExhaustive(pass *analysis.Pass, obj *types.TypeName) bool {
+	files := pass.Prog.FilesOf(obj.Pkg())
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != obj.Name() {
+					continue
+				}
+				if hasDirective(gd.Doc) || hasDirective(ts.Doc) || hasDirective(ts.Comment) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == "//provlint:exhaustive" {
+			return true
+		}
+	}
+	return false
+}

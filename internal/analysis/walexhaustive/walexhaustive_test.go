@@ -1,0 +1,12 @@
+package walexhaustive_test
+
+import (
+	"testing"
+
+	"provmin/internal/analysis/analysistest"
+	"provmin/internal/analysis/walexhaustive"
+)
+
+func TestWalExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", walexhaustive.Analyzer, "walfix")
+}

@@ -42,7 +42,7 @@ type ingestBatcher struct {
 	// exactly one response — the previous non-blocking resp check could
 	// race a request into the channel buffer after the final drain and
 	// silently strand it.
-	addMu   sync.Mutex
+	addMu   sync.Mutex //provlint:lockorder 4
 	adders  sync.WaitGroup
 	stopped bool
 }

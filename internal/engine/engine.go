@@ -18,6 +18,22 @@
 //     restart replays snapshot + WAL back into an identical registry.
 //
 // The engine is safe for concurrent use by multiple goroutines.
+//
+// # Lock order
+//
+// The engine's locks form a strict hierarchy; a goroutine only acquires
+// a lock whose level is greater than every lock it already holds:
+//
+//	closeMu (1) -> registry shard mu (2) -> instance mu (3) -> batcher addMu (4)
+//
+// closeMu is the close fence (every state transition holds its read
+// side, Close the write side); the shard mutex guards one registry
+// stripe's instance maps; the instance lock serializes ingest against
+// queries on one instance; addMu is the batcher's shutdown fence. The
+// order is machine-checked: each field carries a //provlint:lockorder
+// directive and the provlint lockdiscipline analyzer (see
+// internal/analysis/lockdiscipline) rejects out-of-order acquisition at
+// build time in CI.
 package engine
 
 import (
@@ -173,7 +189,7 @@ type Engine struct {
 	// transition therefore either observes closed before doing anything, or
 	// finishes its WAL commit before the log's final sync: no evict or
 	// release record can land after the store closes.
-	closeMu sync.RWMutex
+	closeMu sync.RWMutex //provlint:lockorder 1
 
 	// sfMu/inflight give Minimize singleflight semantics: concurrent
 	// cache misses for one canonical key run MinProv once and share it.
@@ -197,7 +213,7 @@ type Engine struct {
 // which comes before instance.mu. count mirrors len(instances) so the
 // occupancy gauges refresh without touching any other stripe's lock.
 type regShard struct {
-	mu        sync.RWMutex
+	mu        sync.RWMutex //provlint:lockorder 2
 	instances map[string]*instance
 	count     atomic.Int64
 	// cold holds stub entries for this stripe's evicted instances: the
@@ -230,6 +246,7 @@ type instance struct {
 	// touching the WAL or the shared blob.
 	borrowed bool
 
+	//provlint:lockorder 3
 	mu      sync.RWMutex // guards db, version, lastSeq, bytes and batcher
 	db      *db.Instance
 	version uint64 // generation counter: bumped on every applied ingest batch
@@ -780,13 +797,7 @@ func (e *Engine) lookup(id string) (*instance, error) {
 	}
 	sh := e.shardOf(id)
 	if e.backend == nil {
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		in, ok := sh.instances[id]
-		if !ok {
-			return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
-		}
-		return in, nil
+		return lookupResident(sh, id)
 	}
 	adoptTried := false
 	for range faultInRetries {
@@ -826,6 +837,19 @@ func (e *Engine) lookup(id string) (*instance, error) {
 		}
 	}
 	return nil, fmt.Errorf("instance %q: faulted in %d times without staying resident (resident budget too small?)", id, faultInRetries)
+}
+
+// lookupResident resolves an id on a shard with no cold tier: the
+// instance is resident or it does not exist. Split out of lookup so the
+// shard lock's scope is one straight-line function.
+func lookupResident(sh *regShard, id string) (*instance, error) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	in, ok := sh.instances[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
+	}
+	return in, nil
 }
 
 // evalCached evaluates u over the instance under its read lock, serving

@@ -3,6 +3,12 @@
 // (assignments) and Def. 2.12 (provenance of query results): the provenance
 // of an output tuple t is the sum, over all assignments yielding t, of the
 // product of the annotations of the tuples the assignment uses.
+//
+// Results are compared byte-for-byte across the cold, cached, maintained
+// and parallel paths, so this package is canonical: no map iteration
+// order, clock value or RNG draw may reach its output.
+//
+//provlint:canonical
 package eval
 
 import (

@@ -3,6 +3,12 @@
 // Prometheus text format and as a JSON snapshot. It exists so the engine and
 // server layers can record request counts, per-endpoint latency and cache
 // hit rates without pulling an external client library into the module.
+//
+// The Prometheus text rendering and the JSON snapshot are scraped and
+// diffed by tests, so this package is canonical: metric series must
+// render in sorted order, never in map order.
+//
+//provlint:canonical
 package metrics
 
 import (

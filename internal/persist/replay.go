@@ -80,7 +80,7 @@ func (l *Log) replay() (reshard bool, err error) {
 	// with a large cold population would otherwise materialize every cold
 	// instance transiently and defeat the tier. Dropped instances likewise
 	// skip application, and their ids are kept for blob GC.
-	final := map[string]string{}
+	final := map[string]Op{}
 	for i := range recs {
 		final[recs[i].ID] = recs[i].Op
 	}
@@ -99,6 +99,15 @@ func (l *Log) replay() (reshard bool, err error) {
 			// as dropped — its blob now belongs to the new owner.
 			releasedCount++
 			delete(insts, id)
+		case OpCreate, OpIngest, OpFaultIn:
+			// A final create/ingest/fault-in means the instance ends the
+			// history resident: nothing to pre-empt here; the apply pass
+			// below builds it.
+		default:
+			// Unknown final op: treat the instance as resident so the apply
+			// pass below surfaces the record through its own default arm
+			// instead of this pre-pass silently deciding residency for an op
+			// it does not understand.
 		}
 	}
 	sort.Strings(l.dropped)
@@ -123,6 +132,11 @@ func (l *Log) replay() (reshard bool, err error) {
 			// by the blob (or moot); never build the instance in RAM.
 			l.reg.Counter("persist_replay_residency_skips_total").Inc()
 			continue
+		case OpCreate, OpIngest, OpFaultIn:
+			// Ends resident: apply below.
+		default:
+			// Unknown final op: fall through to the apply pass, whose default
+			// arm reports the record itself.
 		}
 		var err error
 		if rec.Op == OpFaultIn {
@@ -294,7 +308,7 @@ func (l *Log) loadSnapshot(path string, insts map[string]*RecoveredInstance) err
 	}
 	for {
 		var env store.Envelope
-		if err := dec.Decode(&env); err == io.EOF {
+		if err := dec.Decode(&env); errors.Is(err, io.EOF) {
 			return nil
 		} else if err != nil {
 			return fmt.Errorf("persist: snapshot %s: %w", path, err)

@@ -48,33 +48,41 @@ type Fact struct {
 	Values []string `json:"values"`
 }
 
+// Op names one kind of WAL record. Every declared Op constant must be
+// handled (or explicitly defaulted) by every switch over the type — a new
+// op silently skipped in replay is data loss. The directive below makes
+// provlint's walexhaustive analyzer enforce that invariant statically.
+//
+//provlint:exhaustive
+type Op string
+
 // Ops recorded in the WAL.
 const (
-	OpCreate = "create" // new instance (Initial carries seed facts as db text)
-	OpIngest = "ingest" // one applied ingest batch (Facts)
-	OpDrop   = "drop"   // instance removed
+	OpCreate Op = "create" // new instance (Initial carries seed facts as db text)
+	OpIngest Op = "ingest" // one applied ingest batch (Facts)
+	OpDrop   Op = "drop"   // instance removed
 
 	// Tiering ops. OpEvict records that the instance's state up to this
 	// point lives in a cold-store blob and the in-memory copy was released;
 	// OpFaultIn records that the blob was loaded back and subsequent ingest
 	// records apply on top of it. Replay uses them to leave finally-cold
 	// instances out of RAM and to know where a blob re-enters the history.
-	OpEvict   = "evict"
-	OpFaultIn = "faultin"
+	OpEvict   Op = "evict"
+	OpFaultIn Op = "faultin"
 
 	// OpRelease records a cluster rebalance handoff: the instance's state
 	// was snapshotted into its cold blob and this node forgot it, but —
 	// unlike OpDrop — the instance still exists, owned by another node.
 	// Replay forgets it without marking it dropped, so this node's boot GC
 	// never deletes the new owner's blob from a shared backend.
-	OpRelease = "release"
+	OpRelease Op = "release"
 )
 
 // Record is one WAL entry. Records are JSON-encoded one per line, each
 // line framed with a CRC32 of the JSON payload.
 type Record struct {
 	Seq     uint64 `json:"seq"`
-	Op      string `json:"op"`
+	Op      Op     `json:"op"`
 	ID      string `json:"id"`
 	Initial string `json:"initial,omitempty"`
 	Facts   []Fact `json:"facts,omitempty"`

@@ -10,6 +10,13 @@
 // monomials with natural-number coefficients. Both are immutable value
 // types with canonical internal representations, so equality of the
 // representations coincides with semantic equality.
+//
+// Canonical representations mean canonical output: polynomial strings and
+// encodings are compared byte-for-byte by the differential tests, so no
+// map iteration order, clock value or RNG draw may reach this package's
+// output.
+//
+//provlint:canonical
 package semiring
 
 import (

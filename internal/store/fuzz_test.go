@@ -1,0 +1,51 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzEnvelopeDecode drives the full read path — DecodeEnvelope (JSON +
+// version window), then Decode (symbol-table seeding, relation rebuild,
+// polynomial parsing) — with arbitrary bytes. The properties: never
+// panic, and anything that decodes cleanly must survive a
+// write-and-reread round trip.
+func FuzzEnvelopeDecode(f *testing.F) {
+	if golden, err := os.ReadFile(filepath.Join("testdata", "v1_golden.json")); err == nil {
+		f.Add(golden)
+	}
+	// A v2 snapshot envelope: instance identity and WAL watermark set.
+	f.Add([]byte(`{"version":2,"instance":"orders","instance_version":7,"last_seq":41,
+		"database":[{"name":"R","arity":1,"rows":[{"tag":"s1","values":["x"]}]}]}`))
+	// A v3 envelope with a seeded symbol table.
+	f.Add([]byte(`{"version":3,"instance":"orders","symbols":["a","b","c"],
+		"database":[{"name":"R","arity":2,"rows":[{"tag":"s1","values":["a","b"]},{"tag":"s2","values":["c","a"]}]}],
+		"result":[{"values":["a"],"provenance":"s1*s2 + s1^2"}]}`))
+	// Refused inputs: a future version and a missing version.
+	f.Add([]byte(`{"version":99,"database":[]}`))
+	f.Add([]byte(`{"database":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(bytes.NewReader(data), FormatVersion)
+		if err != nil {
+			return // malformed, torn or version-refused input: fine, as long as no panic
+		}
+		if env.Version < 1 || env.Version > FormatVersion {
+			t.Fatalf("DecodeEnvelope accepted version %d outside [1, %d]", env.Version, FormatVersion)
+		}
+		d, res, consts, err := env.Decode()
+		if err != nil {
+			return // structurally valid JSON with semantic garbage: fine
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d, res, consts); err != nil {
+			t.Fatalf("re-encode of a decoded envelope failed: %v", err)
+		}
+		if _, err := DecodeEnvelope(bytes.NewReader(buf.Bytes()), FormatVersion); err != nil {
+			t.Fatalf("round-tripped envelope no longer decodes: %v", err)
+		}
+	})
+}

@@ -11,6 +11,12 @@
 // sequence number, so a snapshot plus a WAL suffix reconstructs an
 // instance exactly. Version-2 readers still decode version-1 files;
 // version-1-only readers refuse version-2 files with a clear error.
+//
+// Envelopes are hashed and diffed byte-for-byte (snapshot dedup, golden
+// files), so this package is canonical: no map iteration order, clock
+// value or RNG draw may reach an encoded envelope.
+//
+//provlint:canonical
 package store
 
 import (

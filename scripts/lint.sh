@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint.sh — the full lint gate, identical locally and in CI:
+# gofmt, go vet, staticcheck (if installed), and the project's own
+# provlint analyzer suite (built from source, so it can never be stale).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+go vet ./... || fail=1
+
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./... || fail=1
+else
+    echo "lint.sh: staticcheck not installed, skipping" >&2
+fi
+
+go build -o /tmp/provlint ./cmd/provlint
+/tmp/provlint . || fail=1
+
+exit "$fail"
